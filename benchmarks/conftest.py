@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one of the paper's tables/figures and
+prints the same rows/series the paper reports.  The experiment sweeps are
+deterministic cost-model evaluations, so every benchmark runs exactly once
+(``pedantic(rounds=1, iterations=1)``); the interesting output is the
+figure itself, not timing variance.
+
+Shared, expensive sweeps (the naive Fig. 3/4 simulation) are cached at
+session scope so Figs. 3, 4, and 6 do not re-simulate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import fig3, fig5
+
+#: R sizes used by the benchmark sweeps: the paper's range with the
+#: quoted 111 GiB endpoint (full grid costs minutes, this costs ~2).
+BENCH_R_SIZES_GIB = (1.0, 8.0, 16.0, 32.0, 48.0, 111.0)
+
+#: Naive (random-order) runs need wide samples for TLB thrashing; ordered
+#: runs use the analytic TLB and sample less.
+BENCH_NAIVE_SIM = SimulationConfig(probe_sample=2**15)
+BENCH_ORDERED_SIM = SimulationConfig(probe_sample=2**13)
+
+
+def run_once(benchmark, func):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def naive_sweep():
+    """Fig. 3 + Fig. 4 data (one expensive simulation, shared)."""
+    return fig3.run(r_sizes_gib=BENCH_R_SIZES_GIB, sim=BENCH_NAIVE_SIM)
+
+
+@pytest.fixture(scope="session")
+def partitioned_sweep():
+    """Fig. 5 data plus partitioned request rates (shared with Fig. 6)."""
+    return fig5.run(r_sizes_gib=BENCH_R_SIZES_GIB, sim=BENCH_ORDERED_SIM)

@@ -1,0 +1,58 @@
+"""Ablation A5: a GH200-class what-if (Table 1 extrapolation).
+
+The paper's Table 1 ends with NVLink C2C at 450 GB/s -- beyond the CPU's
+own memory bandwidth.  This ablation runs the windowed INLJ and the hash
+join on the GH200 preset to ask whether the paper's conclusion (index
+joins win at low selectivity) strengthens on the next hardware generation.
+"""
+
+from repro.experiments.common import (
+    default_partitioner,
+    gib_to_tuples,
+    make_environment,
+)
+from repro.hardware.spec import GH200_C2C, V100_NVLINK2
+from repro.indexes.radix_spline import RadixSplineIndex
+from repro.join.hash_join import HashJoin
+from repro.join.window import WindowedINLJ
+from repro.units import MIB
+
+from conftest import BENCH_ORDERED_SIM, run_once
+
+
+def run_ablation():
+    rows = {}
+    for spec in (V100_NVLINK2, GH200_C2C):
+        env = make_environment(
+            spec,
+            gib_to_tuples(100.0),
+            index_cls=RadixSplineIndex,
+            sim=BENCH_ORDERED_SIM,
+        )
+        join = WindowedINLJ(
+            env.index, default_partitioner(env.column), window_bytes=32 * MIB
+        )
+        inlj = join.estimate(env).queries_per_second
+        hash_env = make_environment(
+            spec, gib_to_tuples(100.0), sim=BENCH_ORDERED_SIM
+        )
+        hash_join = HashJoin(hash_env.relation).estimate(hash_env)
+        rows[spec.name] = (inlj, hash_join.queries_per_second)
+    return rows
+
+
+def test_ablation_gh200_extrapolation(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print("\nA5: GH200-class what-if at R = 100 GiB")
+    for name, (inlj, hash_join) in rows.items():
+        print(
+            f"  {name}: windowed RadixSpline INLJ {inlj:6.2f} Q/s, "
+            f"hash join {hash_join:5.2f} Q/s ({inlj / hash_join:.1f}x)"
+        )
+    v100_inlj, v100_hash = rows["POWER9 + V100 / NVLink 2.0"]
+    gh200_inlj, gh200_hash = rows["GH200 / NVLink C2C"]
+    # Both joins speed up generationally...
+    assert gh200_inlj > 2 * v100_inlj
+    assert gh200_hash > v100_hash
+    # ...and the index join's advantage persists.
+    assert gh200_inlj > 2 * gh200_hash

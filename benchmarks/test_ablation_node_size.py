@@ -1,0 +1,53 @@
+"""Ablation A3: B+tree node size.
+
+Section 3.1 discusses the trade-off: "Using smaller nodes has also been
+suggested, but has the disadvantage that fewer keys fit into each node.
+As a result, the tree grows in height, in turn leading to more tree levels
+being traversed."  This ablation sweeps the node size in a windowed INLJ
+at 48 GiB.
+"""
+
+from repro.experiments.common import (
+    default_partitioner,
+    gib_to_tuples,
+    make_environment,
+)
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes.btree import BPlusTreeIndex
+from repro.join.window import WindowedINLJ
+from repro.units import MIB
+
+from conftest import BENCH_ORDERED_SIM, run_once
+
+NODE_SIZES = (256, 1024, 4096, 16384)
+
+
+def run_ablation():
+    rows = {}
+    for node_bytes in NODE_SIZES:
+        env = make_environment(
+            V100_NVLINK2,
+            gib_to_tuples(48.0),
+            index_cls=BPlusTreeIndex,
+            sim=BENCH_ORDERED_SIM,
+            index_kwargs={"node_bytes": node_bytes},
+        )
+        join = WindowedINLJ(
+            env.index, default_partitioner(env.column), window_bytes=32 * MIB
+        )
+        cost = join.estimate(env)
+        rows[node_bytes] = (env.index.height, cost.queries_per_second)
+    return rows
+
+
+def test_ablation_btree_node_size(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print("\nA3: B+tree node size at R = 48 GiB (windowed INLJ)")
+    for node_bytes, (height, throughput) in rows.items():
+        print(f"  {node_bytes:>6} B nodes: height {height}, {throughput:5.2f} Q/s")
+    heights = [height for height, __ in rows.values()]
+    # Smaller nodes make taller trees (Section 3.1).
+    assert heights == sorted(heights, reverse=True)
+    # All configurations stay within a sane factor of the paper's 4 KiB.
+    throughputs = [throughput for __, throughput in rows.values()]
+    assert max(throughputs) / min(throughputs) < 5.0

@@ -1,0 +1,52 @@
+"""Ablation A1: the partition-bit selection rule of Section 4.2.
+
+The paper chooses radix bits "starting at the bit splitting the root node,
+down to the bit above the page size".  This ablation compares that rule
+against partitioning on the least significant bits: LSB partitions
+scramble keys across the whole relation, so the position locality that
+suppresses TLB misses disappears.
+"""
+
+import numpy as np
+
+from repro.data.column import VirtualSortedColumn
+from repro.partition.bits import PartitionBits, choose_partition_bits
+from repro.partition.radix import RadixPartitioner
+
+from conftest import run_once
+
+
+def mean_position_jump(column, partitioner, keys):
+    """Mean |position delta| between consecutive partitioned lookups --
+    the locality the TLB sees."""
+    output = partitioner.partition(keys)
+    positions = column.rank_of(output.keys)
+    return float(np.abs(np.diff(positions)).mean())
+
+
+def run_ablation():
+    column = VirtualSortedColumn(2**24, stride=4, seed=13)
+    rng = np.random.default_rng(99)
+    keys = column.key_at(rng.integers(0, 2**24, size=2**14))
+    paper_rule = RadixPartitioner(
+        choose_partition_bits(column, 2048, ignored_lsb=4)
+    )
+    lsb_rule = RadixPartitioner(PartitionBits(shift=0, bits=11))
+    return {
+        "unpartitioned": float(
+            np.abs(np.diff(column.rank_of(keys))).mean()
+        ),
+        "paper rule": mean_position_jump(column, paper_rule, keys),
+        "LSB bits": mean_position_jump(column, lsb_rule, keys),
+    }
+
+
+def test_ablation_partition_bit_choice(benchmark):
+    jumps = run_once(benchmark, run_ablation)
+    print("\nA1: mean position jump between consecutive lookups (tuples)")
+    for label, jump in jumps.items():
+        print(f"  {label:>14}: {jump:,.0f}")
+    # The paper's rule concentrates consecutive lookups ~1000x better.
+    assert jumps["paper rule"] < jumps["unpartitioned"] / 100
+    # LSB bits are useless: locality stays at the unpartitioned level.
+    assert jumps["LSB bits"] > jumps["unpartitioned"] / 3

@@ -1,0 +1,66 @@
+"""Ablation A6: to partition, or not to partition (Section 2.3).
+
+The paper dismisses classic partitioned joins: "with some exceptions,
+partitioned joins are detrimental to overall query performance [13].  On
+top, partitioning both inputs consumes additional memory equal to the
+input size."  This ablation prices all three strategies -- plain hash
+join, radix-partitioned hash join, and the paper's windowed INLJ -- at
+out-of-core scale.
+"""
+
+from repro.experiments.common import (
+    default_partitioner,
+    gib_to_tuples,
+    make_environment,
+)
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes.radix_spline import RadixSplineIndex
+from repro.join.hash_join import HashJoin
+from repro.join.partitioned_hash import PartitionedHashJoin
+from repro.join.window import WindowedINLJ
+from repro.units import MIB
+
+from conftest import BENCH_ORDERED_SIM, run_once
+
+R_GIB = 64.0
+
+
+def run_ablation():
+    results = {}
+    env = make_environment(
+        V100_NVLINK2, gib_to_tuples(R_GIB), sim=BENCH_ORDERED_SIM
+    )
+    results["hash join"] = HashJoin(env.relation).estimate(env)
+    env = make_environment(
+        V100_NVLINK2, gib_to_tuples(R_GIB), sim=BENCH_ORDERED_SIM
+    )
+    results["partitioned hash join"] = PartitionedHashJoin(
+        env.relation, default_partitioner(env.relation.column)
+    ).estimate(env)
+    env = make_environment(
+        V100_NVLINK2,
+        gib_to_tuples(R_GIB),
+        index_cls=RadixSplineIndex,
+        sim=BENCH_ORDERED_SIM,
+    )
+    results["windowed INLJ (RadixSpline)"] = WindowedINLJ(
+        env.index, default_partitioner(env.column), window_bytes=32 * MIB
+    ).estimate(env)
+    return results
+
+
+def test_ablation_partitioned_join(benchmark):
+    results = run_once(benchmark, run_ablation)
+    print(f"\nA6: join-strategy comparison at R = {R_GIB:g} GiB")
+    for name, cost in results.items():
+        print(
+            f"  {name:<28}: {cost.queries_per_second:5.2f} Q/s, "
+            f"{cost.counters.scan_bytes / 2**30:6.1f} GiB scanned"
+        )
+    hash_join = results["hash join"].queries_per_second
+    partitioned = results["partitioned hash join"].queries_per_second
+    windowed = results["windowed INLJ (RadixSpline)"].queries_per_second
+    # Partitioning both inputs is detrimental (Section 2.3 / [13])...
+    assert partitioned < hash_join
+    # ...while the windowed INLJ pipelines and wins at this selectivity.
+    assert windowed > hash_join

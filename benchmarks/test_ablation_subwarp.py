@@ -1,0 +1,55 @@
+"""Ablation A2: Harmonia's sub-warp size.
+
+Harmonia splits each warp into sub-warps that cooperate on one lookup at
+a time (Section 2.2): "As some comparisons are unnecessary, Harmonia
+divides the warp into sub-warps to parallelize over lookup keys as well."
+
+With uniform traversal heights the total comparison work is constant in
+the sub-warp size (``rounds_per_node x subwarps`` cancels), so this
+ablation probes the two quantities the choice actually trades off:
+
+* divergence overhead under *filter divergence* (Section 3.3.1): a warp
+  whose lookups take different step counts.  Sub-warps serialize several
+  lookups per lane group, so their sums concentrate and the overhead
+  falls as the sub-warp widens;
+* lookup parallelism: a warp serves ``32 / subwarp`` concurrent lookups,
+  which shrinks as the sub-warp widens.
+"""
+
+import numpy as np
+
+from repro.gpu.simt import subwarp_lookup_cost
+
+from conftest import run_once
+
+SUBWARP_SIZES = (2, 4, 8, 16, 32)
+
+
+def run_ablation():
+    # Bimodal step counts emulating a selective join's filter divergence:
+    # 70% of lookups finish in 4 node visits, 30% take 8.
+    rng = np.random.default_rng(17)
+    steps = np.where(rng.random(32 * 256) < 0.7, 4.0, 8.0)
+    rows = {}
+    for subwarp in SUBWARP_SIZES:
+        cost = subwarp_lookup_cost(steps, 32, subwarp_size=subwarp)
+        overhead = cost.divergence_replays / max(1.0, cost.warp_instructions)
+        rows[subwarp] = (overhead, 32 // subwarp)
+    return rows
+
+
+def test_ablation_harmonia_subwarp_size(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print("\nA2: Harmonia sub-warp size under filter divergence")
+    for subwarp, (overhead, parallel) in rows.items():
+        print(
+            f"  sub-warp {subwarp:>2}: divergence overhead "
+            f"{overhead * 100:5.1f}%, {parallel:>2} concurrent lookups/warp"
+        )
+    overheads = [overhead for overhead, __ in rows.values()]
+    parallelism = [parallel for __, parallel in rows.values()]
+    # Wider sub-warps concentrate sums -> less divergence overhead...
+    assert all(a >= b - 1e-9 for a, b in zip(overheads, overheads[1:]))
+    assert overheads[0] > overheads[-1]
+    # ...but serve fewer concurrent lookups (the latency-hiding cost).
+    assert parallelism == sorted(parallelism, reverse=True)

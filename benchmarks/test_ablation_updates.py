@@ -1,0 +1,50 @@
+"""Ablation A8: index maintenance cost (Section 6's update guidance).
+
+"We recommend choosing a RadixSpline ... However, Harmonia is a good
+alternative if the index must support inserts and updates."  This
+ablation prices a 10k-insert batch into each index at R = 100 GiB.
+"""
+
+from repro.data.column import VirtualSortedColumn
+from repro.data.relation import Relation
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes import ALL_INDEX_TYPES
+from repro.units import GIB
+from repro.workloads.updates import maintenance_cost
+
+from conftest import run_once
+
+BATCH = 10_000
+
+
+def run_ablation():
+    rows = {}
+    relation = Relation("R", VirtualSortedColumn(int(100 * GIB) // 8))
+    for index_cls in ALL_INDEX_TYPES:
+        index = index_cls(relation)
+        rows[index_cls.name] = maintenance_cost(
+            index, BATCH, V100_NVLINK2.cpu
+        )
+    return rows
+
+
+def test_ablation_index_maintenance(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    print(f"\nA8: cost of a {BATCH}-insert batch at R = 100 GiB")
+    for name, cost in rows.items():
+        print(
+            f"  {name:>14}: {cost.seconds_per_batch:9.3f} s/batch "
+            f"({cost.strategy}), "
+            f"{cost.amortized_seconds_per_insert(BATCH) * 1e6:9.1f} us/insert"
+        )
+    # Tree indexes absorb batches in-place; static structures rebuild.
+    assert rows["Harmonia"].strategy == "in-place"
+    assert rows["B+tree"].strategy == "in-place"
+    assert rows["RadixSpline"].strategy == "rebuild"
+    assert rows["binary search"].strategy == "rebuild"
+    # The guidance is quantitative: in-place maintenance is orders of
+    # magnitude cheaper than a 100 GiB refit.
+    assert (
+        rows["RadixSpline"].seconds_per_batch
+        > 100 * rows["Harmonia"].seconds_per_batch
+    )

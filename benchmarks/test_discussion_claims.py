@@ -1,0 +1,18 @@
+"""Section 6: the paper's headline claims, measured end-to-end."""
+
+from repro.experiments import claims
+
+from conftest import run_once
+
+
+def test_section6_claims(benchmark):
+    measured = run_once(benchmark, claims.run)
+    print()
+    for claim in measured:
+        print(claim.to_text())
+    assert len(measured) == 4
+    holding = sum(1 for claim in measured if claim.holds)
+    assert holding == len(measured), (
+        "a Section 6 claim deviated: "
+        + "; ".join(c.name for c in measured if not c.holds)
+    )

@@ -1,0 +1,20 @@
+"""Extension E-CPU: CPU vs GPU regimes across R (paper Sections 1-2.1)."""
+
+from repro.experiments import cpu_gpu
+
+from conftest import BENCH_ORDERED_SIM, run_once
+
+
+def test_extension_cpu_vs_gpu(benchmark):
+    result = run_once(
+        benchmark, lambda: cpu_gpu.run(sim=BENCH_ORDERED_SIM)
+    )
+    print("\n" + result.to_text())
+    by_label = result.series_by_label()
+    cpu = by_label["CPU hash join"].as_dict()
+    inlj = by_label["GPU windowed INLJ (RadixSpline)"].as_dict()
+    # The selective index join beats the CPU incumbent at large R...
+    assert inlj[100.0] > 2 * cpu[100.0]
+    # ...and its advantage *widens* with R: the CPU pays for the whole
+    # relation, the index join only for the matches.
+    assert inlj[100.0] / cpu[100.0] > 4 * (inlj[2.0] / cpu[2.0])

@@ -1,0 +1,38 @@
+"""Figure 3: naive INLJ vs hash join throughput while scaling R.
+
+Paper: "The INLJ does not outperform the hash join, even at the low
+selectivities incurred by a large R relation. ... the INLJ experiences a
+sudden drop in throughput when R grows beyond 32 GiB.  In contrast, hash
+join throughput does not drop suddenly."
+"""
+
+from conftest import run_once
+
+
+def test_fig3_naive_inlj_vs_hash_join(benchmark, naive_sweep):
+    throughput, __ = run_once(benchmark, lambda: naive_sweep)
+    print("\n" + throughput.to_text())
+    by_label = throughput.series_by_label()
+    hash_join = by_label["hash join"].as_dict()
+
+    # Claim 1: no INLJ outperforms the hash join anywhere in the sweep.
+    for series in throughput.series:
+        if series.label == "hash join":
+            continue
+        for x_value, y_value in zip(series.x, series.y):
+            assert y_value <= hash_join[x_value] * 1.05, (
+                f"{series.label} beat the hash join at {x_value} GiB"
+            )
+
+    # Claim 2: the INLJs drop suddenly past the 32 GiB TLB range.
+    binary = by_label["binary search"].as_dict()
+    assert binary[32.0] > 2 * binary[48.0]
+
+    # Claim 3: the hash join declines smoothly -- roughly proportional to
+    # the growing transfer volume, never faster than the data growth
+    # between adjacent points (no cliff).
+    hash_values = by_label["hash join"]
+    for i in range(len(hash_values.y) - 1):
+        drop = hash_values.y[i] / hash_values.y[i + 1]
+        growth = hash_values.x[i + 1] / hash_values.x[i]
+        assert drop < growth * 1.5

@@ -1,0 +1,29 @@
+"""Figure 4: address-translation requests per index lookup.
+
+Paper: "For small relations, there are near zero translation requests.
+However, at the 32 GiB mark, the translation request rate of all INLJs
+spikes upwards.  At 111 GiB of data, binary search requests 105
+translations per key.  In contrast, Harmonia experiences only 11.3."
+"""
+
+from conftest import run_once
+
+
+def test_fig4_translation_requests(benchmark, naive_sweep):
+    __, requests = run_once(benchmark, lambda: naive_sweep)
+    print("\n" + requests.to_text(y_format="{:.2f}"))
+    by_label = requests.series_by_label()
+
+    for label, series in by_label.items():
+        data = series.as_dict()
+        # Near zero below the 32 GiB TLB range...
+        assert data[16.0] < 1.0, f"{label} misses below the TLB range"
+        # ...spiking upwards beyond it.
+        assert data[48.0] > 5 * max(data[16.0], 0.05), f"{label} has no spike"
+
+    binary_at_111 = by_label["binary search"].as_dict()[111.0]
+    harmonia_at_111 = by_label["Harmonia"].as_dict()[111.0]
+    # Paper anchors: ~105 (binary search) vs ~11.3 (Harmonia).
+    assert 60 < binary_at_111 < 160
+    assert 4 < harmonia_at_111 < 25
+    assert binary_at_111 > 4 * harmonia_at_111

@@ -1,0 +1,46 @@
+"""Figure 6: percentage of translation requests eliminated by partitioning.
+
+Paper: "The improvement at the TLB range boundary is nearly 100%. ...
+binary search still experiences about 0.1 translation requests per lookup.
+However, the other indexes have almost zero requests per key."
+"""
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+
+def test_fig6_translation_requests_eliminated(
+    benchmark, naive_sweep, partitioned_sweep
+):
+    __, naive_requests = naive_sweep
+    __, partitioned_requests = partitioned_sweep
+
+    result = run_once(
+        benchmark,
+        lambda: fig6.run(
+            naive_requests=naive_requests,
+            partitioned_requests=partitioned_requests,
+        ),
+    )
+    print("\n" + result.to_text(y_format="{:.2f}"))
+
+    partitioned_by_label = partitioned_requests.series_by_label()
+    for series in result.series:
+        data = series.as_dict()
+        # Nearly 100% eliminated at and beyond the TLB boundary.
+        for x_value in (48.0, 111.0):
+            assert data[x_value] > 95.0, (
+                f"{series.label}: only {data[x_value]:.1f}% eliminated at "
+                f"{x_value} GiB"
+            )
+        # Residual request rates stay tiny (paper: <= ~0.1 per lookup).
+        residual = partitioned_by_label[series.label].as_dict()[111.0]
+        assert residual < 0.5
+
+    # Binary search keeps the largest residual of all indexes.
+    residuals = {
+        label: series.as_dict()[111.0]
+        for label, series in partitioned_by_label.items()
+    }
+    assert residuals["binary search"] == max(residuals.values())

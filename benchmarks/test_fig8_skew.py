@@ -1,0 +1,37 @@
+"""Figure 8: query throughput of skewed lookup keys.
+
+Paper: Zipf exponents 0-1.75, 32 MiB windows, R = 100 GiB.  "Throughput
+increases with Zipf exponents higher than 1.0. ... However, the hash join
+degrades to a long probe chain.  After 10 hours, we terminated the
+measurement run."
+"""
+
+from repro.experiments import fig8
+
+from conftest import BENCH_ORDERED_SIM, run_once
+
+THETAS = (0.0, 0.5, 1.0, 1.25, 1.5, 1.75)
+
+
+def test_fig8_zipf_skew(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig8.run(r_gib=100.0, thetas=THETAS, sim=BENCH_ORDERED_SIM),
+    )
+    print("\n" + result.to_text())
+
+    for series in result.series:
+        if series.label == "hash join":
+            continue
+        data = series.as_dict()
+        # Throughput rises for exponents above 1.0 ...
+        assert data[1.5] > 1.5 * data[0.0], f"{series.label} gains no skew benefit"
+        assert data[1.75] >= data[1.25] * 0.8
+        # ... and does not collapse anywhere in the sweep.
+        assert min(series.y) > 0.1
+
+    # The hash join DNFs (modeled > 10 h) at high exponents.
+    dnf_notes = [note for note in result.notes if "DNF" in note]
+    assert any("1.75" in note for note in dnf_notes)
+    hash_series = result.series_by_label()["hash join"]
+    assert 1.75 not in hash_series.as_dict()

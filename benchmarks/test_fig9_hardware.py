@@ -1,0 +1,52 @@
+"""Figure 9: PCIe 4.0 (A100) vs NVLink 2.0 (V100).
+
+Paper: "The hash join achieves 1.7x higher throughput on the A100, as it
+is a faster GPU.  Therefore, the crossover point of INLJ vs hash join on
+the A100 is at 13.9 GiB (3.6%), compared to 6.2 GiB (8.0%) on the V100."
+"""
+
+from repro.experiments import fig9
+
+from conftest import BENCH_ORDERED_SIM, run_once
+
+R_SIZES = (2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0)
+
+
+def test_fig9_hardware_comparison(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: fig9.run(r_sizes_gib=R_SIZES, sim=BENCH_ORDERED_SIM),
+    )
+    print("\n" + result.to_text())
+    by_label = result.series_by_label()
+
+    nvlink_inlj = by_label["RadixSpline [NVLink 2.0]"]
+    nvlink_hash = by_label["hash join [NVLink 2.0]"]
+    pcie_inlj = by_label["RadixSpline [PCI-e 4.0]"]
+    pcie_hash = by_label["hash join [PCI-e 4.0]"]
+
+    v100_crossover = fig9.find_crossover(nvlink_inlj, nvlink_hash)
+    a100_crossover = fig9.find_crossover(pcie_inlj, pcie_hash)
+    print(
+        f"\ncrossovers: V100 {v100_crossover and round(v100_crossover, 1)} GiB "
+        f"(paper 6.2), A100 {a100_crossover and round(a100_crossover, 1)} GiB "
+        f"(paper 13.9)"
+    )
+
+    # Both crossovers exist, in the same zone as the paper's.
+    assert v100_crossover is not None and 3.0 < v100_crossover < 20.0
+    assert a100_crossover is not None and 8.0 < a100_crossover < 50.0
+    # The crossover moves right on PCIe (needs lower selectivity).
+    assert a100_crossover > 1.3 * v100_crossover
+
+    # Hash join faster on the A100 (paper: ~1.7x) at matched R.
+    ratios = [
+        pcie / nvlink
+        for pcie, nvlink in zip(pcie_hash.y, nvlink_hash.y)
+    ]
+    assert all(ratio > 1.05 for ratio in ratios)
+    assert max(ratios) < 3.0
+
+    # INLJ slower over PCIe at every size (fine-grained access penalty).
+    for pcie, nvlink in zip(pcie_inlj.y, nvlink_inlj.y):
+        assert pcie < nvlink

@@ -1,0 +1,23 @@
+"""Table 1: interconnect receive bandwidths."""
+
+from repro.experiments import table1
+from repro.units import GB
+
+from conftest import run_once
+
+
+def test_table1_interconnects(benchmark):
+    text = run_once(benchmark, table1.run)
+    print("\n" + text)
+    rows = table1.rows()
+    bandwidths = [row[2] for row in rows]
+    # The paper's exact column (Table 1).
+    assert bandwidths == ["32 GB/s", "64 GB/s", "72 GB/s", "75 GB/s", "450 GB/s"]
+    # NVLink C2C exceeds typical CPU memory bandwidth -- the property that
+    # "eliminates the data transfer bottleneck" (Section 2.1).
+    from repro.hardware.spec import GH200_C2C
+
+    assert (
+        GH200_C2C.interconnect.bandwidth_bytes
+        > GH200_C2C.cpu.memory_bandwidth_bytes
+    )

@@ -1,0 +1,72 @@
+"""Hardware what-if: the same query across four CPU-GPU interconnects.
+
+Extends the paper's Fig. 9 (V100/NVLink 2.0 vs A100/PCIe 4.0) with the
+other Table 1 machines -- MI250X/Infinity Fabric 3 and GH200/NVLink C2C --
+to ask how the index-vs-scan trade-off shifts across hardware generations.
+
+    python examples/hardware_comparison.py
+"""
+
+import repro
+from repro.units import GB, GIB, MIB, format_throughput
+
+MACHINES = (
+    repro.A100_PCIE4,
+    repro.MI250X_IF3,
+    repro.V100_NVLINK2,
+    repro.GH200_C2C,
+)
+R_GIB = 64
+SIM = repro.SimulationConfig(probe_sample=2**13)
+
+
+def estimate(spec, workload):
+    env = repro.QueryEnvironment(
+        spec, workload, index_cls=repro.RadixSplineIndex, sim=SIM
+    )
+    partitioner = repro.RadixPartitioner(
+        repro.choose_partition_bits(env.column, 2048, ignored_lsb=4)
+    )
+    inlj = repro.WindowedINLJ(
+        env.index, partitioner, window_bytes=32 * MIB
+    ).estimate(env)
+    hash_env = repro.QueryEnvironment(spec, workload, sim=SIM)
+    hash_cost = repro.HashJoin(hash_env.relation).estimate(hash_env)
+    return inlj, hash_cost
+
+
+def main():
+    workload = repro.WorkloadConfig(r_tuples=int(R_GIB * GIB) // 8)
+    print(
+        f"Windowed RadixSpline INLJ vs hash join at R = {R_GIB} GiB "
+        f"(selectivity {workload.join_selectivity * 100:.1f}%)\n"
+    )
+    header = (
+        f"{'machine':<34} | {'link (seq/rand GB/s)':>21} | "
+        f"{'INLJ':>10} | {'hash join':>10} | advantage"
+    )
+    print(header)
+    print("-" * len(header))
+    for spec in MACHINES:
+        inlj, hash_cost = estimate(spec, workload)
+        link = spec.interconnect
+        random_bw = link.bandwidth_bytes * link.random_efficiency / GB
+        advantage = inlj.queries_per_second / hash_cost.queries_per_second
+        print(
+            f"{spec.name:<34} | "
+            f"{link.bandwidth_bytes / GB:>8.0f} / {random_bw:>6.1f}  | "
+            f"{format_throughput(inlj.queries_per_second):>10} | "
+            f"{format_throughput(hash_cost.queries_per_second):>10} | "
+            f"{advantage:5.1f}x"
+        )
+    print()
+    print(
+        "Faster interconnects widen the index join's lead: its random "
+        "cacheline fetches ride the link's random-access bandwidth, while "
+        "the hash join's table scan is capped by CPU memory and its probes "
+        "by GPU memory (paper Sections 5.2.3 and 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

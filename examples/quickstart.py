@@ -1,0 +1,89 @@
+"""Quickstart: index a relation, join against it, estimate paper-scale cost.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+
+Demonstrates the library's two layers:
+
+1. the functional layer -- real index structures over numpy data, exact
+   join results verified against a reference;
+2. the simulation layer -- the same operators estimating query throughput
+   on the paper's V100 + NVLink 2.0 machine at 48 GiB, where nothing is
+   materialized.
+"""
+
+import numpy as np
+
+import repro
+from repro.units import GIB, MIB, format_bytes, format_throughput
+
+
+def functional_demo():
+    print("=== functional layer: exact joins on real data ===")
+    workload = repro.WorkloadConfig(
+        r_tuples=2**18, s_tuples=2**12, match_rate=0.9, seed=7
+    )
+    relation, probes = repro.make_workload(workload)
+    reference = repro.reference_join(relation.column, probes.keys)
+    print(
+        f"R: {relation.num_tuples} sorted unique keys "
+        f"({format_bytes(relation.nbytes)}); "
+        f"S: {len(probes)} probe keys, {probes.num_matches} with a partner"
+    )
+    partitioner = repro.RadixPartitioner(
+        repro.choose_partition_bits(relation.column, num_partitions=256)
+    )
+    for index_cls in repro.ALL_INDEX_TYPES:
+        index = index_cls(relation)
+        join = repro.WindowedINLJ(index, partitioner, window_bytes=32 * 1024)
+        result = join.join(probes.keys)
+        status = "ok" if result.equals(reference) else "MISMATCH"
+        print(
+            f"  windowed INLJ over {index.name:<13}: "
+            f"{len(result)} result pairs, {status} "
+            f"(index height {index.height}, "
+            f"footprint {format_bytes(index.footprint_bytes)})"
+        )
+
+
+def simulated_demo():
+    print()
+    print("=== simulation layer: the paper's machine at 48 GiB ===")
+    workload = repro.WorkloadConfig(r_tuples=int(48 * GIB) // 8)
+    sim = repro.SimulationConfig(probe_sample=2**13)
+    print(
+        f"R: {format_bytes(workload.r_tuples * 8)} in CPU memory, "
+        f"S: {format_bytes(workload.s_tuples * 8)}, join selectivity "
+        f"{workload.join_selectivity * 100:.1f}%"
+    )
+    for index_cls in (repro.RadixSplineIndex, repro.HarmoniaIndex):
+        env = repro.QueryEnvironment(
+            repro.V100_NVLINK2, workload, index_cls=index_cls, sim=sim
+        )
+        partitioner = repro.RadixPartitioner(
+            repro.choose_partition_bits(env.column, 2048, ignored_lsb=4)
+        )
+        join = repro.WindowedINLJ(env.index, partitioner, window_bytes=32 * MIB)
+        cost = join.estimate(env)
+        print(
+            f"  windowed INLJ over {env.index.name:<13}: "
+            f"{format_throughput(cost.queries_per_second)}, "
+            f"{format_bytes(cost.counters.remote_bytes)} over NVLink"
+        )
+    env = repro.QueryEnvironment(repro.V100_NVLINK2, workload, sim=sim)
+    cost = repro.HashJoin(env.relation).estimate(env)
+    print(
+        f"  hash join baseline            : "
+        f"{format_throughput(cost.queries_per_second)}, "
+        f"{format_bytes(cost.counters.remote_bytes)} over NVLink"
+    )
+
+
+def main():
+    functional_demo()
+    simulated_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Skew handling: why the windowed INLJ survives what kills the hash join.
+
+Reproduces the scenario of the paper's Section 5.2.2 as an application
+story: a click-stream fact table whose foreign keys follow a Zipf
+distribution (a few viral items get most events).  The multi-value hash
+table degenerates -- duplicate hot keys grow probe chains quadratically --
+while the windowed INLJ *benefits* from skew, because sorted hot keys hit
+the GPU caches.
+
+    python examples/skew_handling.py
+"""
+
+import numpy as np
+
+import repro
+from repro.data.zipf import zipf_top_mass
+from repro.units import GIB, MIB, format_throughput
+
+SIM = repro.SimulationConfig(probe_sample=2**13)
+R_GIB = 64
+THETAS = (0.0, 0.5, 1.0, 1.5, 1.75)
+TEN_HOURS = 10 * 3600.0
+
+
+def functional_chain_demo():
+    """Show the probe-chain degeneration on real (small) data."""
+    print("=== hash-table chains on real data (2^14 inserts) ===")
+    for theta in (0.0, 1.25):
+        rng = np.random.default_rng(5)
+        n = 2**18
+        if theta > 0:
+            from repro.data.zipf import zipf_sample
+
+            ranks = zipf_sample(rng, n, theta, 2**14)
+        else:
+            ranks = rng.integers(0, n, 2**14)
+        table = repro.MultiValueHashTable(expected_keys=2**14)
+        table.insert(
+            ranks.astype(np.uint64), np.arange(2**14, dtype=np.int64)
+        )
+        print(
+            f"  zipf {theta:>4}: mean insert chain "
+            f"{table.mean_insert_probes:8.1f}, longest "
+            f"{table.max_insert_probes}"
+        )
+    print()
+
+
+def simulated_sweep():
+    print(f"=== paper-scale skew sweep (R = {R_GIB} GiB, 32 MiB windows) ===")
+    header = (
+        f"{'zipf':>5} | {'hot-set share':>13} | "
+        f"{'windowed INLJ':>14} | hash join"
+    )
+    print(header)
+    print("-" * len(header))
+    r_tuples = int(R_GIB * GIB) // 8
+    for theta in THETAS:
+        workload = repro.WorkloadConfig(r_tuples=r_tuples, zipf_theta=theta)
+        env = repro.QueryEnvironment(
+            repro.V100_NVLINK2, workload, index_cls=repro.RadixSplineIndex,
+            sim=SIM,
+        )
+        partitioner = repro.RadixPartitioner(
+            repro.choose_partition_bits(env.column, 2048, ignored_lsb=4)
+        )
+        inlj = repro.WindowedINLJ(
+            env.index, partitioner, window_bytes=32 * MIB
+        ).estimate(env)
+        hash_env = repro.QueryEnvironment(repro.V100_NVLINK2, workload, sim=SIM)
+        hash_cost = repro.HashJoin(hash_env.relation).estimate(hash_env)
+        if hash_cost.seconds > TEN_HOURS:
+            hash_text = f"DNF (> {hash_cost.seconds / 3600:.0f} h)"
+        elif hash_cost.seconds > 60:
+            hash_text = f"{hash_cost.queries_per_second:.4f} Q/s"
+        else:
+            hash_text = format_throughput(hash_cost.queries_per_second)
+        hot_share = zipf_top_mass(r_tuples, max(theta, 1e-9), 2**14)
+        print(
+            f"{theta:>5} | {hot_share * 100:>12.1f}% | "
+            f"{format_throughput(inlj.queries_per_second):>14} | {hash_text}"
+        )
+    print()
+    print(
+        "The paper terminated its skewed hash-join run after 10 hours "
+        "(Section 5.2.2); the windowed INLJ instead speeds up once hot "
+        "keys start hitting the GPU caches (exponents above 1.0)."
+    )
+
+
+def main():
+    functional_chain_demo()
+    simulated_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package, so pip cannot perform a PEP-660
+editable install; with this shim ``pip install -e .`` falls back to the
+classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

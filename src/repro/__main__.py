@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments [names...] [--quick]`` -- regenerate the paper's tables
+  and figures (same as ``python -m repro.experiments.runner``);
+* ``plan --r-gib N [options]`` -- run the access-path planner for one
+  workload and print the EXPLAIN output;
+* ``info`` -- library, machine-preset, and index overview.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .data.generator import WorkloadConfig
+from .engine.planner import QueryPlanner
+from .hardware.spec import A100_PCIE4, GH200_C2C, MI250X_IF3, V100_NVLINK2
+from .indexes import ALL_INDEX_TYPES, EXTENSION_INDEX_TYPES
+from .units import GB, GIB, format_bytes
+
+MACHINES = {
+    "v100": V100_NVLINK2,
+    "a100": A100_PCIE4,
+    "mi250x": MI250X_IF3,
+    "gh200": GH200_C2C,
+}
+
+
+def cmd_info(_args) -> int:
+    print(f"repro {__version__} -- reproduction of 'Efficiently Indexing "
+          "Large Data on GPUs with Fast Interconnects' (EDBT 2025)")
+    print("\nmachine presets:")
+    for key, spec in MACHINES.items():
+        link = spec.interconnect
+        print(
+            f"  {key:>7}: {spec.name} "
+            f"({link.bandwidth_bytes / GB:.0f} GB/s link, "
+            f"{format_bytes(spec.gpu.tlb_range_bytes)} TLB range, "
+            f"{format_bytes(spec.cpu.memory_capacity_bytes)} CPU memory)"
+        )
+    print("\nindex structures:")
+    for cls in ALL_INDEX_TYPES + EXTENSION_INDEX_TYPES:
+        updates = "updates" if cls.supports_updates else "static"
+        extension = (
+            " [extension]" if cls in EXTENSION_INDEX_TYPES else ""
+        )
+        print(f"  {cls.name:>14}: {updates}{extension}")
+    print("\nsee DESIGN.md for the system inventory and EXPERIMENTS.md for")
+    print("the paper-vs-measured record.")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments.runner import run_all
+
+    run_all(args.names, quick=args.quick)
+    return 0
+
+
+def cmd_plan(args) -> int:
+    spec = MACHINES[args.machine]
+    workload = WorkloadConfig(
+        r_tuples=max(1, int(args.r_gib * GIB) // 8),
+        zipf_theta=args.zipf,
+    )
+    planner = QueryPlanner(spec)
+    choice = planner.plan(
+        workload,
+        require_updates=args.require_updates,
+        include_variants=args.variants,
+    )
+    print(
+        f"workload: R = {args.r_gib:g} GiB, S = 2^26 tuples, "
+        f"selectivity {workload.join_selectivity * 100:.1f}%, "
+        f"zipf {args.zipf:g}, machine = {spec.name}"
+    )
+    print(choice.explain())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("info", help="library overview")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("names", nargs="*", help="subset to run")
+    experiments.add_argument("--quick", action="store_true")
+
+    plan = subparsers.add_parser(
+        "plan", help="cost-based access-path selection for one workload"
+    )
+    plan.add_argument("--r-gib", type=float, default=48.0)
+    plan.add_argument(
+        "--machine", choices=sorted(MACHINES), default="v100"
+    )
+    plan.add_argument("--zipf", type=float, default=0.0)
+    plan.add_argument("--require-updates", action="store_true")
+    plan.add_argument(
+        "--variants", action="store_true",
+        help="also price naive/materializing INLJ variants",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "info":
+        return cmd_info(args)
+    if args.command == "experiments":
+        return cmd_experiments(args)
+    if args.command == "plan":
+        return cmd_plan(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Data layer: key columns, relations, and workload generators.
+
+The paper's dataset (Section 3.2) is two relations of single 8-byte integer
+attributes: R holds unique sorted keys (the indexed build side, scaled from
+0.5 GiB to 120 GiB) and S holds foreign keys drawn from R (the probe side,
+fixed at 2^26 tuples).  Columns come in two flavours:
+
+* :class:`~repro.data.column.MaterializedColumn` -- a real numpy array, used
+  for functional correctness at laptop scale;
+* :class:`~repro.data.column.VirtualSortedColumn` -- an implicit column whose
+  key at any position is computable in O(1), so indexes can traverse 120 GiB
+  address spaces without materializing them (see DESIGN.md Section 5).
+"""
+
+from .column import (
+    Column,
+    KEY_DTYPE,
+    MaterializedColumn,
+    VirtualSortedColumn,
+    make_column,
+)
+from .relation import Relation
+from .generator import (
+    ProbeSet,
+    WorkloadConfig,
+    make_build_relation,
+    make_probe_keys,
+    make_workload,
+)
+from .zipf import zipf_cdf, zipf_sample, zipf_top_mass
+
+__all__ = [
+    "Column",
+    "KEY_DTYPE",
+    "MaterializedColumn",
+    "VirtualSortedColumn",
+    "make_column",
+    "Relation",
+    "ProbeSet",
+    "WorkloadConfig",
+    "make_build_relation",
+    "make_probe_keys",
+    "make_workload",
+    "zipf_cdf",
+    "zipf_sample",
+    "zipf_top_mass",
+]

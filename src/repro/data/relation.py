@@ -1,0 +1,77 @@
+"""Relations: a named key column plus its simulated placement.
+
+The paper's schema is deliberately minimal -- each relation is a single
+8-byte integer column (Section 3.2) -- so a relation here is a column, a
+name, and (once placed) an allocation in host or device memory whose
+addresses feed the TLB/cache simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..units import KEY_BYTES, format_bytes
+from ..hardware.memory import Allocation, MemorySpace, SystemMemory
+from .column import Column
+
+
+@dataclass
+class Relation:
+    """A base relation over a single key column.
+
+    Attributes:
+        name: label, e.g. ``"R"`` or ``"S"``.
+        column: the key data (materialized or virtual).
+        allocation: where the relation lives once placed; None before
+            placement.
+    """
+
+    name: str
+    column: Column
+    allocation: Optional[Allocation] = field(default=None)
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self.column)
+
+    @property
+    def nbytes(self) -> int:
+        return self.column.nbytes
+
+    def place(self, memory: SystemMemory, space: MemorySpace) -> Allocation:
+        """Reserve simulated memory for this relation.
+
+        Base relations go to host memory (the paper stores R, S, and all
+        indexes in CPU memory); join hash tables go to device memory.
+        """
+        if self.allocation is not None:
+            raise SimulationError(
+                f"relation '{self.name}' is already placed at "
+                f"{self.allocation.base:#x}"
+            )
+        self.allocation = memory.allocate(
+            self.nbytes, space, label=f"relation {self.name}"
+        )
+        return self.allocation
+
+    def address_of(self, positions: np.ndarray) -> np.ndarray:
+        """Byte addresses of tuples at the given positions (vectorized)."""
+        if self.allocation is None:
+            raise SimulationError(
+                f"relation '{self.name}' is not placed in simulated memory"
+            )
+        positions = np.asarray(positions, dtype=np.int64)
+        return self.allocation.base + positions * KEY_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        placed = (
+            f"@{self.allocation.base:#x}" if self.allocation is not None else "unplaced"
+        )
+        return (
+            f"Relation({self.name}, {self.num_tuples} tuples, "
+            f"{format_bytes(self.nbytes)}, {placed})"
+        )

@@ -1,0 +1,264 @@
+"""Pull-based streaming operators over tuple batches.
+
+The paper's windowed partitioning "restores the pipeline" (Section 5):
+probe tuples stream through window -> partition -> INLJ without either
+input being materialized.  This module makes that pipeline explicit as
+composable operators, so examples and tests can assemble exactly the
+dataflow of the paper's Fig. 1 right-hand side -- and verify that a
+pipelined plan computes the same join as a monolithic one.
+
+Operators exchange :class:`TupleBatch` objects (keys plus their original
+stream indices) and follow the classic open/next iterator contract,
+implemented as Python generators.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..data.column import KEY_DTYPE
+from ..errors import ConfigurationError, WorkloadError
+from ..indexes.base import Index
+from ..join.base import JoinResult
+from ..partition.radix import RadixPartitioner
+from ..units import KEY_BYTES
+
+
+@dataclass
+class TupleBatch:
+    """A batch of probe tuples flowing through the pipeline.
+
+    Attributes:
+        keys: probe keys.
+        indices: each tuple's position in the original stream (the
+            payload join results refer to).
+        positions: match positions in the indexed relation; filled by the
+            probe operator, -1 before that / for misses.
+    """
+
+    keys: np.ndarray
+    indices: np.ndarray
+    positions: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.indices):
+            raise WorkloadError(
+                "keys and indices must have equal length: "
+                f"{len(self.keys)} != {len(self.indices)}"
+            )
+        if self.positions is not None and len(self.positions) != len(self.keys):
+            raise WorkloadError("positions length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class Operator(abc.ABC):
+    """One pipeline stage: transforms a stream of batches."""
+
+    @abc.abstractmethod
+    def process(self, upstream: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        """Consume upstream batches, yield downstream batches."""
+
+
+class ScanOperator(Operator):
+    """Stream source: emits probe keys in fixed-size batches.
+
+    Models the outer scan that "ends the input stream" (Section 5.1).
+    As a source it ignores its (empty) upstream.
+    """
+
+    def __init__(self, keys: np.ndarray, batch_tuples: int = 2**16):
+        if batch_tuples <= 0:
+            raise ConfigurationError(
+                f"batch size must be positive, got {batch_tuples}"
+            )
+        self.keys = np.asarray(keys, dtype=KEY_DTYPE)
+        self.batch_tuples = batch_tuples
+
+    def process(self, upstream: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        for start in range(0, len(self.keys), self.batch_tuples):
+            stop = min(start + self.batch_tuples, len(self.keys))
+            yield TupleBatch(
+                keys=self.keys[start:stop],
+                indices=np.arange(start, stop, dtype=np.int64),
+            )
+
+
+class FilterOperator(Operator):
+    """Row filter on probe keys (a WHERE predicate ahead of the join)."""
+
+    def __init__(self, predicate: Callable[[np.ndarray], np.ndarray]):
+        self.predicate = predicate
+
+    def process(self, upstream: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        for batch in upstream:
+            mask = np.asarray(self.predicate(batch.keys), dtype=bool)
+            if mask.shape != batch.keys.shape:
+                raise WorkloadError(
+                    "predicate must return one boolean per key"
+                )
+            if mask.any():
+                yield TupleBatch(
+                    keys=batch.keys[mask], indices=batch.indices[mask]
+                )
+
+
+class WindowOperator(Operator):
+    """Tumbling windows: regroup the stream into fixed-size batches.
+
+    "We divide the stream on-the-fly into disjoint, fixed-size batches,
+    i.e., tumbling windows.  Closing the window occurs either when the
+    window reaches its capacity, or no more tuples are available"
+    (Section 5.1).
+    """
+
+    def __init__(self, window_bytes: int):
+        if window_bytes < KEY_BYTES:
+            raise ConfigurationError(
+                f"window must hold at least one tuple, got {window_bytes}"
+            )
+        self.window_tuples = max(1, window_bytes // KEY_BYTES)
+
+    def process(self, upstream: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        pending_keys: List[np.ndarray] = []
+        pending_indices: List[np.ndarray] = []
+        pending = 0
+        for batch in upstream:
+            keys, indices = batch.keys, batch.indices
+            while pending + len(keys) >= self.window_tuples:
+                take = self.window_tuples - pending
+                pending_keys.append(keys[:take])
+                pending_indices.append(indices[:take])
+                yield TupleBatch(
+                    keys=np.concatenate(pending_keys),
+                    indices=np.concatenate(pending_indices),
+                )
+                pending_keys, pending_indices, pending = [], [], 0
+                keys, indices = keys[take:], indices[take:]
+            if len(keys):
+                pending_keys.append(keys)
+                pending_indices.append(indices)
+                pending += len(keys)
+        if pending:
+            yield TupleBatch(
+                keys=np.concatenate(pending_keys),
+                indices=np.concatenate(pending_indices),
+            )
+
+
+class PartitionOperator(Operator):
+    """Radix-partition each batch in place (within-window partitioning)."""
+
+    def __init__(self, partitioner: RadixPartitioner):
+        self.partitioner = partitioner
+
+    def process(self, upstream: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        for batch in upstream:
+            output = self.partitioner.partition(
+                batch.keys, source_indices=batch.indices
+            )
+            yield TupleBatch(keys=output.keys, indices=output.source_indices)
+
+
+class IndexProbeOperator(Operator):
+    """INLJ probe: look every batch key up in the index."""
+
+    def __init__(self, index: Index):
+        self.index = index
+
+    def process(self, upstream: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        for batch in upstream:
+            positions = self.index.lookup(batch.keys)
+            yield TupleBatch(
+                keys=batch.keys, indices=batch.indices, positions=positions
+            )
+
+
+class MaterializeOperator(Operator):
+    """Sink: collect matched pairs into a :class:`JoinResult`."""
+
+    def __init__(self):
+        self.result: Optional[JoinResult] = None
+
+    def process(self, upstream: Iterator[TupleBatch]) -> Iterator[TupleBatch]:
+        probe_parts: List[np.ndarray] = []
+        build_parts: List[np.ndarray] = []
+        for batch in upstream:
+            if batch.positions is None:
+                raise WorkloadError(
+                    "materialize needs probed batches; add an "
+                    "IndexProbeOperator upstream"
+                )
+            matched = batch.positions >= 0
+            probe_parts.append(batch.indices[matched])
+            build_parts.append(batch.positions[matched])
+            yield batch
+        if probe_parts:
+            self.result = JoinResult(
+                probe_indices=np.concatenate(probe_parts),
+                build_positions=np.concatenate(build_parts),
+            )
+        else:
+            self.result = JoinResult(
+                probe_indices=np.empty(0, dtype=np.int64),
+                build_positions=np.empty(0, dtype=np.int64),
+            )
+
+
+class Pipeline:
+    """A chain of operators executed by pulling the sink."""
+
+    def __init__(self, operators: Iterable[Operator]):
+        self.operators = list(operators)
+        if not self.operators:
+            raise ConfigurationError("a pipeline needs at least one operator")
+
+    def run(self) -> JoinResult:
+        """Pull every batch through; returns the sink's join result."""
+        stream: Iterator[TupleBatch] = iter(())
+        for operator in self.operators:
+            stream = operator.process(stream)
+        for __ in stream:
+            pass
+        sink = self.operators[-1]
+        if not isinstance(sink, MaterializeOperator) or sink.result is None:
+            raise ConfigurationError(
+                "the last operator must be a MaterializeOperator"
+            )
+        return sink.result
+
+    def explain(self) -> str:
+        """One line per stage, scan to sink."""
+        return " -> ".join(type(op).__name__ for op in self.operators)
+
+
+def windowed_inlj_pipeline(
+    probe_keys: np.ndarray,
+    index: Index,
+    partitioner: RadixPartitioner,
+    window_bytes: int,
+    batch_tuples: int = 2**14,
+    predicate: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> Pipeline:
+    """The paper's Section 5 dataflow as an explicit pipeline:
+
+    scan -> [filter] -> tumbling window -> radix partition -> INLJ probe
+    -> materialize.
+    """
+    operators: List[Operator] = [ScanOperator(probe_keys, batch_tuples)]
+    if predicate is not None:
+        operators.append(FilterOperator(predicate))
+    operators.extend(
+        [
+            WindowOperator(window_bytes),
+            PartitionOperator(partitioner),
+            IndexProbeOperator(index),
+            MaterializeOperator(),
+        ]
+    )
+    return Pipeline(operators)

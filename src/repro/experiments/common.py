@@ -1,0 +1,127 @@
+"""Shared experiment scaffolding.
+
+The paper's standard setup (Section 3.2): S fixed at 2^26 tuples, R scaled
+from 2^26 to 2^33.9 tuples (0.5-120 GiB), V100 + NVLink 2.0, 2048-way
+radix partitioning ignoring the 4 least significant bits, throughput over
+the whole query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from ..config import (
+    DEFAULT_IGNORED_LSB,
+    DEFAULT_NUM_PARTITIONS,
+    SimulationConfig,
+)
+from ..data.column import Column
+from ..data.generator import WorkloadConfig
+from ..errors import CapacityError
+from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..join.base import QueryEnvironment
+from ..partition.bits import choose_partition_bits
+from ..partition.radix import RadixPartitioner
+from ..perf.report import Series, format_series_table
+from ..units import GIB, KEY_BYTES
+
+#: R sizes (GiB) swept by Figs. 3-6.  The paper scales 0.5-120 GiB; the
+#: last point matches the paper's quoted "111 GiB" measurements.
+DEFAULT_R_SIZES_GIB = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0, 111.0)
+
+#: Event-simulation sample sizes.  Naive (random-order) runs need a sample
+#: wider than the TLB so inter-thread thrashing is fully expressed; ordered
+#: runs use the analytic TLB and can sample less.
+NAIVE_SIM = SimulationConfig(probe_sample=2**16)
+ORDERED_SIM = SimulationConfig(probe_sample=2**14)
+
+
+def gib_to_tuples(gib: float) -> int:
+    """R size in tuples for a target size in GiB (8-byte keys)."""
+    return max(1, int(gib * GIB) // KEY_BYTES)
+
+
+def make_environment(
+    spec: SystemSpec,
+    r_tuples: int,
+    index_cls: Optional[Type] = None,
+    sim: SimulationConfig = ORDERED_SIM,
+    zipf_theta: float = 0.0,
+    index_kwargs: Optional[dict] = None,
+) -> QueryEnvironment:
+    """Standard-workload environment on ``spec``.
+
+    Raises :class:`~repro.errors.CapacityError` when the relation or the
+    index exceeds the machine's memory (the paper's reduced R limits);
+    callers skip that point, as the paper's figures do.
+    """
+    workload = WorkloadConfig(r_tuples=r_tuples, zipf_theta=zipf_theta)
+    return QueryEnvironment(
+        spec, workload, index_cls=index_cls, sim=sim, index_kwargs=index_kwargs
+    )
+
+
+def default_partitioner(column: Column) -> RadixPartitioner:
+    """The paper's partitioner: 2048 partitions, 4 LSBs ignored (S4.3.1)."""
+    bits = choose_partition_bits(
+        column,
+        num_partitions=DEFAULT_NUM_PARTITIONS,
+        ignored_lsb=DEFAULT_IGNORED_LSB,
+    )
+    return RadixPartitioner(bits)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: labelled series plus free-form notes.
+
+    Attributes:
+        name: experiment id (e.g. ``"fig5"``).
+        title: human-readable description.
+        x_label: meaning of the series' x values.
+        series: one entry per line of the figure.
+        notes: per-run remarks (skipped points, DNFs, derived metrics).
+        paper_expectation: what the paper reports, for EXPERIMENTS.md.
+    """
+
+    name: str
+    title: str
+    x_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_expectation: str = ""
+
+    def series_by_label(self) -> Dict[str, Series]:
+        return {series.label: series for series in self.series}
+
+    def to_text(self, y_format: str = "{:.3f}") -> str:
+        """Figure-like text table plus notes."""
+        parts = [
+            format_series_table(
+                self.series,
+                x_label=self.x_label,
+                y_format=y_format,
+                title=f"{self.name}: {self.title}",
+            )
+        ]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        if self.paper_expectation:
+            parts.append(f"  paper: {self.paper_expectation}")
+        return "\n".join(parts)
+
+
+def run_point_or_skip(result: ExperimentResult, label: str, func) -> Optional[float]:
+    """Execute one data point, recording capacity-limit skips.
+
+    The paper drops B+tree/Harmonia points past their memory limit
+    (Section 3.2); this helper mirrors that by catching
+    :class:`CapacityError` and noting the skip instead of failing the
+    whole experiment.
+    """
+    try:
+        return func()
+    except CapacityError as error:
+        result.notes.append(f"{label}: skipped ({error})")
+        return None

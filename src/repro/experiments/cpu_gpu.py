@@ -1,0 +1,121 @@
+"""Extension experiment: CPU vs GPU execution of the same join.
+
+Not a paper figure, but the paper's opening argument (Sections 1-2.1):
+fast interconnects put GPU *scans* on a level playing field with CPUs --
+no speedup, CPU memory feeds both -- so the way to beat the CPU is to
+exploit *selectivity* through out-of-core indexes.  This experiment puts
+the three regimes side by side across R:
+
+* CPU hash join (the incumbent, memory-bandwidth bound);
+* GPU hash join (scan capped by CPU memory, probes in HBM);
+* GPU windowed INLJ over the RadixSpline (the paper's contribution).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..indexes import RadixSplineIndex
+from ..join.hash_join import HashJoin
+from ..join.window import WindowedINLJ
+from ..perf.cpu import CpuCostModel
+from ..perf.report import Series
+from ..units import MIB
+from .common import (
+    ExperimentResult,
+    ORDERED_SIM,
+    default_partitioner,
+    gib_to_tuples,
+    make_environment,
+    run_point_or_skip,
+)
+
+PAPER_EXPECTATION = (
+    "Scan-bound plans show no GPU-vs-CPU speedup (CPU memory feeds both); "
+    "the selective index join is where the GPU pulls ahead (Sections 1-2.1)"
+)
+
+DEFAULT_R_SIZES_GIB = (2.0, 8.0, 16.0, 32.0, 64.0, 100.0)
+
+
+def run(
+    spec: SystemSpec = V100_NVLINK2,
+    r_sizes_gib: Sequence[float] = DEFAULT_R_SIZES_GIB,
+    sim=ORDERED_SIM,
+    window_bytes: int = 32 * MIB,
+) -> ExperimentResult:
+    """Sweep R over the three regimes on one machine."""
+    result = ExperimentResult(
+        name="cpu_gpu",
+        title="CPU hash join vs GPU hash join vs GPU windowed INLJ (Q/s)",
+        x_label="R (GiB)",
+        paper_expectation=PAPER_EXPECTATION,
+    )
+    cpu_model = CpuCostModel(spec.cpu)
+    cpu_series = Series("CPU hash join")
+    gpu_hash_series = Series("GPU hash join")
+    gpu_inlj_series = Series("GPU windowed INLJ (RadixSpline)")
+    for gib in r_sizes_gib:
+        r_tuples = gib_to_tuples(gib)
+
+        def cpu_point():
+            from ..data.generator import WorkloadConfig
+
+            return cpu_model.hash_join(WorkloadConfig(r_tuples=r_tuples))
+
+        cost = run_point_or_skip(result, f"cpu hash @ {gib} GiB", cpu_point)
+        if cost is not None:
+            cpu_series.append(gib, cost.queries_per_second)
+
+        def gpu_hash_point():
+            env = make_environment(spec, r_tuples, sim=sim)
+            return HashJoin(env.relation).estimate(env)
+
+        cost = run_point_or_skip(
+            result, f"gpu hash @ {gib} GiB", gpu_hash_point
+        )
+        if cost is not None:
+            gpu_hash_series.append(gib, cost.queries_per_second)
+
+        def gpu_inlj_point():
+            env = make_environment(
+                spec, r_tuples, index_cls=RadixSplineIndex, sim=sim
+            )
+            join = WindowedINLJ(
+                env.index,
+                default_partitioner(env.column),
+                window_bytes=window_bytes,
+            )
+            return join.estimate(env)
+
+        cost = run_point_or_skip(
+            result, f"gpu inlj @ {gib} GiB", gpu_inlj_point
+        )
+        if cost is not None:
+            gpu_inlj_series.append(gib, cost.queries_per_second)
+    result.series = [cpu_series, gpu_hash_series, gpu_inlj_series]
+    _annotate(result)
+    return result
+
+
+def _annotate(result: ExperimentResult) -> None:
+    by_label = result.series_by_label()
+    cpu = by_label["CPU hash join"]
+    inlj = by_label["GPU windowed INLJ (RadixSpline)"]
+    if cpu.y and inlj.y:
+        speedup = inlj.y[-1] / cpu.y[-1] if cpu.y[-1] > 0 else float("inf")
+        result.notes.append(
+            f"at {inlj.x[-1]:g} GiB the GPU index join runs {speedup:.1f}x "
+            "faster than the CPU hash join"
+        )
+    gpu_hash = by_label["GPU hash join"]
+    if cpu.y and gpu_hash.y:
+        shared = sorted(set(cpu.x) & set(gpu_hash.x))
+        if shared:
+            last = shared[-1]
+            ratio = gpu_hash.as_dict()[last] / cpu.as_dict()[last]
+            result.notes.append(
+                f"GPU-vs-CPU hash-join ratio at {last:g} GiB: {ratio:.1f}x "
+                "(probe-bound plans do benefit from HBM; pure scans do not)"
+            )

@@ -1,0 +1,118 @@
+"""Figure 3: query throughput of the naive INLJ vs the hash join.
+
+Paper observations (Section 3.3.1): the INLJ never outperforms the hash
+join; INLJ throughput drops suddenly once R grows beyond the 32 GiB GPU
+TLB range, while the hash join declines smoothly with the growing table
+scan.  At 111 GiB the hash join runs at ~0.2 Q/s.
+
+:func:`run` also returns the per-lookup translation-request series -- the
+same simulation produces Figure 4's data -- so the two figures share one
+(expensive) sweep; :mod:`repro.experiments.fig4` re-exports that view.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..indexes import ALL_INDEX_TYPES
+from ..join.hash_join import HashJoin
+from ..join.inlj import IndexNestedLoopJoin
+from ..perf.report import Series
+from .common import (
+    DEFAULT_R_SIZES_GIB,
+    ExperimentResult,
+    NAIVE_SIM,
+    gib_to_tuples,
+    make_environment,
+    run_point_or_skip,
+)
+
+PAPER_EXPECTATION = (
+    "No INLJ outperforms the hash join; INLJ throughput drops suddenly "
+    "past 32 GiB; hash join declines smoothly to ~0.2 Q/s at 111 GiB"
+)
+
+
+def run(
+    spec: SystemSpec = V100_NVLINK2,
+    r_sizes_gib: Sequence[float] = DEFAULT_R_SIZES_GIB,
+    sim=NAIVE_SIM,
+    index_types: Sequence[type] = ALL_INDEX_TYPES,
+) -> Tuple[ExperimentResult, ExperimentResult]:
+    """Sweep R; returns (fig3 throughput, fig4 translation requests)."""
+    throughput = ExperimentResult(
+        name="fig3",
+        title="Query throughput, naive INLJ vs hash join (Q/s)",
+        x_label="R (GiB)",
+        paper_expectation=PAPER_EXPECTATION,
+    )
+    requests = ExperimentResult(
+        name="fig4",
+        title="Address translation requests per index lookup",
+        x_label="R (GiB)",
+        paper_expectation=(
+            "Near zero below 32 GiB, spiking at the 32 GiB TLB range; "
+            "~105 requests/key for binary search and ~11.3 for Harmonia "
+            "at 111 GiB"
+        ),
+    )
+    index_series = {cls: Series(cls.name) for cls in index_types}
+    request_series = {cls: Series(cls.name) for cls in index_types}
+    hash_series = Series("hash join")
+    for gib in r_sizes_gib:
+        r_tuples = gib_to_tuples(gib)
+        for index_cls in index_types:
+            def point(index_cls=index_cls):
+                env = make_environment(
+                    spec, r_tuples, index_cls=index_cls, sim=sim
+                )
+                return IndexNestedLoopJoin(env.index).estimate(env)
+
+            cost = run_point_or_skip(
+                throughput, f"{index_cls.name} @ {gib} GiB", point
+            )
+            if cost is None:
+                continue
+            index_series[index_cls].append(gib, cost.queries_per_second)
+            request_series[index_cls].append(
+                gib, cost.counters.translation_requests_per_lookup
+            )
+
+        def hash_point():
+            env = make_environment(spec, r_tuples, sim=sim)
+            return HashJoin(env.relation).estimate(env)
+
+        cost = run_point_or_skip(throughput, f"hash join @ {gib} GiB", hash_point)
+        if cost is not None:
+            hash_series.append(gib, cost.queries_per_second)
+    throughput.series = [index_series[cls] for cls in index_types]
+    throughput.series.append(hash_series)
+    requests.series = [request_series[cls] for cls in index_types]
+    _annotate(throughput, requests)
+    return throughput, requests
+
+
+def _annotate(
+    throughput: ExperimentResult, requests: ExperimentResult
+) -> None:
+    """Derive the figures' headline observations from the data."""
+    hash_series = throughput.series_by_label().get("hash join")
+    if hash_series and hash_series.y:
+        best_inlj_last = max(
+            series.y[-1]
+            for series in throughput.series
+            if series.label != "hash join" and series.y
+        )
+        beats = best_inlj_last > hash_series.y[-1]
+        throughput.notes.append(
+            "largest-R check: best naive INLJ "
+            f"{best_inlj_last:.2f} Q/s vs hash {hash_series.y[-1]:.2f} Q/s "
+            f"({'INLJ wins (deviation!)' if beats else 'hash wins, as in the paper'})"
+        )
+    for series in requests.series:
+        if len(series) >= 2 and series.y[-1] > 0:
+            requests.notes.append(
+                f"{series.label}: {series.y[0]:.2f} requests/key at "
+                f"{series.x[0]:g} GiB vs {series.y[-1]:.1f} at {series.x[-1]:g} GiB"
+            )

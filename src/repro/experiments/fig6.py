@@ -1,0 +1,89 @@
+"""Figure 6: translation requests eliminated by partitioning (Section 4.3.2).
+
+The paper plots the percentage of translation requests eliminated relative
+to the naive runs of Fig. 4: "The improvement at the TLB range boundary is
+nearly 100%. ... binary search still experiences about 0.1 translation
+requests per lookup.  However, the other indexes have almost zero requests
+per key."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..indexes import ALL_INDEX_TYPES
+from ..perf.report import Series
+from .common import (
+    DEFAULT_R_SIZES_GIB,
+    ExperimentResult,
+    NAIVE_SIM,
+    ORDERED_SIM,
+)
+from . import fig3, fig5
+
+PAPER_EXPECTATION = (
+    "Nearly 100% of translation requests eliminated at and beyond the "
+    "32 GiB boundary; binary search retains ~0.1 requests/lookup, the "
+    "other indexes almost zero"
+)
+
+
+def run(
+    spec: SystemSpec = V100_NVLINK2,
+    r_sizes_gib: Sequence[float] = DEFAULT_R_SIZES_GIB,
+    naive_sim=NAIVE_SIM,
+    ordered_sim=ORDERED_SIM,
+    index_types: Sequence[type] = ALL_INDEX_TYPES,
+    naive_requests: ExperimentResult = None,
+    partitioned_requests: ExperimentResult = None,
+) -> ExperimentResult:
+    """Percentage of translation requests eliminated by partitioning.
+
+    Re-runs Figs. 3-5 unless the caller passes their request results in
+    (the runner does, to avoid recomputing the expensive naive sweep).
+    """
+    if naive_requests is None:
+        __, naive_requests = fig3.run(
+            spec=spec, r_sizes_gib=r_sizes_gib, sim=naive_sim,
+            index_types=index_types,
+        )
+    if partitioned_requests is None:
+        __, partitioned_requests = fig5.run(
+            spec=spec, r_sizes_gib=r_sizes_gib, sim=ordered_sim,
+            index_types=index_types, include_hash_join=False,
+        )
+    result = ExperimentResult(
+        name="fig6",
+        title="Translation requests eliminated by partitioning (%)",
+        x_label="R (GiB)",
+        paper_expectation=PAPER_EXPECTATION,
+    )
+    naive_by_label = naive_requests.series_by_label()
+    partitioned_by_label = partitioned_requests.series_by_label()
+    for index_cls in index_types:
+        label = index_cls.name
+        if label not in naive_by_label or label not in partitioned_by_label:
+            continue
+        naive = naive_by_label[label].as_dict()
+        partitioned = partitioned_by_label[label].as_dict()
+        series = Series(label)
+        for x_value in sorted(set(naive) & set(partitioned)):
+            before = naive[x_value]
+            after = partitioned[x_value]
+            if before < 0.05:
+                # Below the TLB range there are (almost) no requests to
+                # eliminate; the paper plots this region as fully
+                # improved, and so do we.
+                eliminated = 100.0
+            else:
+                eliminated = 100.0 * (1.0 - min(after, before) / before)
+            series.append(x_value, eliminated)
+        result.series.append(series)
+        if series.y:
+            residual = partitioned.get(series.x[-1], 0.0)
+            result.notes.append(
+                f"{label}: {series.y[-1]:.2f}% eliminated at "
+                f"{series.x[-1]:g} GiB (residual {residual:.3f} requests/lookup)"
+            )
+    return result

@@ -1,0 +1,178 @@
+"""Run every experiment and render the paper-vs-measured report.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything (minutes)
+    python -m repro.experiments.runner fig5 fig7  # a subset
+    python -m repro.experiments.runner --quick    # reduced sweeps (~1 min)
+
+The output is the text the benchmark harness and EXPERIMENTS.md are built
+from: one figure-shaped table per experiment, with the paper's expectation
+attached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import claims, fig3, fig5, fig6, fig7, fig8, fig9, table1
+from .common import DEFAULT_R_SIZES_GIB, NAIVE_SIM, ORDERED_SIM
+
+#: Reduced sweeps for --quick mode.
+QUICK_R_SIZES = (1.0, 16.0, 32.0, 48.0, 111.0)
+QUICK_WINDOWS = tuple(2**exp for exp in (18, 20, 22, 24, 26))
+QUICK_THETAS = (0.0, 0.5, 1.0, 1.5, 1.75)
+QUICK_NAIVE_SIM = NAIVE_SIM.with_sample(2**15)
+
+
+def run_all(
+    names,
+    quick: bool = False,
+    stream=None,
+    output_dir=None,
+    charts: bool = False,
+) -> dict:
+    """Run the named experiments (all if empty); returns results by name.
+
+    ``output_dir`` additionally writes each result as CSV + JSON;
+    ``charts`` appends a terminal chart under every figure's table.
+    ``stream`` defaults to the *current* sys.stdout (resolved per call,
+    so redirected/captured stdout is honoured).
+    """
+    if stream is None:
+        stream = sys.stdout
+    wanted = set(names) if names else None
+    results = {}
+
+    def selected(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    def emit(text: str) -> None:
+        stream.write(text + "\n\n")
+        stream.flush()
+
+    def finish(result) -> None:
+        if output_dir is not None:
+            from ..perf.export import write_result
+
+            write_result(result, output_dir)
+        if charts:
+            from ..perf.charts import chart_experiment
+
+            try:
+                emit(chart_experiment(result))
+            except Exception as error:  # charts are best-effort output
+                emit(f"  [chart skipped: {error}]")
+
+    r_sizes = QUICK_R_SIZES if quick else DEFAULT_R_SIZES_GIB
+    naive_sim = QUICK_NAIVE_SIM if quick else NAIVE_SIM
+
+    if selected("table1"):
+        started = time.time()
+        results["table1"] = table1.run()
+        emit(results["table1"])
+        emit(f"  [table1 took {time.time() - started:.1f}s]")
+
+    naive_requests = None
+    if selected("fig3") or selected("fig4") or selected("fig6"):
+        started = time.time()
+        throughput, naive_requests = fig3.run(
+            r_sizes_gib=r_sizes, sim=naive_sim
+        )
+        results["fig3"] = throughput
+        results["fig4"] = naive_requests
+        if selected("fig3"):
+            emit(throughput.to_text())
+            finish(throughput)
+        if selected("fig4"):
+            emit(naive_requests.to_text(y_format="{:.2f}"))
+            finish(naive_requests)
+        emit(f"  [fig3+fig4 took {time.time() - started:.1f}s]")
+
+    partitioned_requests = None
+    if selected("fig5") or selected("fig6"):
+        started = time.time()
+        throughput, partitioned_requests = fig5.run(r_sizes_gib=r_sizes)
+        results["fig5"] = throughput
+        if selected("fig5"):
+            emit(throughput.to_text())
+            finish(throughput)
+        emit(f"  [fig5 took {time.time() - started:.1f}s]")
+
+    if selected("fig6"):
+        started = time.time()
+        results["fig6"] = fig6.run(
+            r_sizes_gib=r_sizes,
+            naive_requests=naive_requests,
+            partitioned_requests=partitioned_requests,
+        )
+        emit(results["fig6"].to_text(y_format="{:.2f}"))
+        finish(results["fig6"])
+        emit(f"  [fig6 took {time.time() - started:.1f}s]")
+
+    if selected("fig7"):
+        started = time.time()
+        windows = QUICK_WINDOWS if quick else fig7.DEFAULT_WINDOW_TUPLES
+        results["fig7"] = fig7.run(window_tuples=windows)
+        emit(results["fig7"].to_text())
+        finish(results["fig7"])
+        emit(f"  [fig7 took {time.time() - started:.1f}s]")
+
+    if selected("fig8"):
+        started = time.time()
+        thetas = QUICK_THETAS if quick else fig8.DEFAULT_THETAS
+        results["fig8"] = fig8.run(thetas=thetas)
+        emit(results["fig8"].to_text())
+        finish(results["fig8"])
+        emit(f"  [fig8 took {time.time() - started:.1f}s]")
+
+    if selected("fig9"):
+        started = time.time()
+        results["fig9"] = fig9.run()
+        emit(results["fig9"].to_text())
+        finish(results["fig9"])
+        emit(f"  [fig9 took {time.time() - started:.1f}s]")
+
+    if selected("claims"):
+        started = time.time()
+        measured = claims.run()
+        results["claims"] = measured
+        for claim in measured:
+            emit(claim.to_text())
+        emit(f"  [claims took {time.time() - started:.1f}s]")
+
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="subset to run: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 claims",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweeps (~1 minute)"
+    )
+    parser.add_argument(
+        "--output-dir", default=None,
+        help="write each result as CSV + JSON into this directory",
+    )
+    parser.add_argument(
+        "--charts", action="store_true",
+        help="append a terminal chart under every figure",
+    )
+    args = parser.parse_args(argv)
+    run_all(
+        args.experiments,
+        quick=args.quick,
+        output_dir=args.output_dir,
+        charts=args.charts,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

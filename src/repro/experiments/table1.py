@@ -1,0 +1,35 @@
+"""Table 1: overview of interconnect receive bandwidth.
+
+The table is descriptive -- it collects vendor receive bandwidths -- so the
+"experiment" verifies that the library's machine presets expose exactly the
+paper's numbers and renders the same rows.
+"""
+
+from __future__ import annotations
+
+from ..hardware.spec import TABLE1_INTERCONNECTS
+from ..perf.report import format_table
+from ..units import GB
+
+PAPER_EXPECTATION = (
+    "PCI-e 4.0: 32 GB/s; PCI-e 5.0: 64 GB/s; Infinity Fabric 3: 72 GB/s; "
+    "NVLink 2.0: 75 GB/s; NVLink C2C: 450 GB/s"
+)
+
+
+def rows() -> list:
+    """The table's rows: (GPU, interconnect name, bandwidth string)."""
+    table = []
+    for gpu, interconnect in TABLE1_INTERCONNECTS:
+        bandwidth = f"{interconnect.bandwidth_bytes / GB:.0f} GB/s"
+        table.append((gpu, interconnect.name, bandwidth))
+    return table
+
+
+def run() -> str:
+    """Render Table 1 as text."""
+    return format_table(
+        headers=("GPU", "Interconnect", "Bandwidth"),
+        rows=rows(),
+        title="Table 1: Overview of interconnect receive bandwidth.",
+    )

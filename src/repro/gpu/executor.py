@@ -1,0 +1,336 @@
+"""The machine facade: replaying index traversals against the hierarchy.
+
+Index traversals produce a :class:`LookupTrace` -- a step-by-step matrix of
+byte addresses, one column per lookup.  :class:`MachineModel` replays the
+trace the way the GPU would execute it: accesses from concurrently resident
+threads interleave round-robin (step-major within waves of
+``interleave_width`` lookups), flow through the L1 and L2 caches, and --
+when they miss to the interconnect -- through the GPU TLB.  This
+interleaving is what makes the paper's TLB thrashing emergent: by the time
+a thread issues its next traversal step, thousands of other threads'
+accesses have aged its translation out of the LRU (Section 4.1).
+
+The model distinguishes two probe-stream orders:
+
+* random order (the naive INLJ of Section 3): the event-level TLB sim is
+  faithful, because random accesses carry no locality a sample could lose;
+* partition order (Sections 4-5): samples cannot preserve sweep locality at
+  page granularity, so join operators compute TLB misses analytically
+  (:mod:`repro.perf.analytic`) and disable the event TLB here.
+
+All methods return *raw, unscaled* counters for the simulated sample;
+callers scale by ``SimulationConfig.scale_factor`` and sum.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, SimulationConfig
+from ..errors import ConfigurationError, SimulationError
+from ..hardware.cache import LruCache, SetAssociativeCache
+from ..hardware.counters import PerfCounters
+from ..hardware.memory import SystemMemory
+from ..hardware.spec import SystemSpec
+from ..hardware.tlb import LruTlb
+
+
+class AccessKind(enum.Enum):
+    """Which memory an access targets."""
+
+    HOST = "host"
+    DEVICE = "device"
+
+
+@dataclass
+class LookupTrace:
+    """Memory accesses of a batch of index lookups.
+
+    Attributes:
+        step_addresses: int64 matrix of shape (num_steps, num_lookups);
+            entry (s, i) is the byte address lookup ``i`` touches at
+            traversal step ``s``, or -1 if the lookup finished earlier.
+        steps_per_lookup: number of active steps per lookup (int array),
+            consumed by the SIMT cost model.
+    """
+
+    step_addresses: np.ndarray
+    steps_per_lookup: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.step_addresses.ndim != 2:
+            raise SimulationError(
+                "step_addresses must be (steps, lookups), got shape "
+                f"{self.step_addresses.shape}"
+            )
+        if len(self.steps_per_lookup) != self.step_addresses.shape[1]:
+            raise SimulationError(
+                "steps_per_lookup length must match the lookup count: "
+                f"{len(self.steps_per_lookup)} != {self.step_addresses.shape[1]}"
+            )
+
+    @property
+    def num_lookups(self) -> int:
+        return self.step_addresses.shape[1]
+
+    @property
+    def num_steps(self) -> int:
+        return self.step_addresses.shape[0]
+
+    @property
+    def total_accesses(self) -> int:
+        return int(np.count_nonzero(self.step_addresses >= 0))
+
+
+class MachineModel:
+    """One simulated machine instance: memory spaces plus cache/TLB state.
+
+    A MachineModel's hierarchy state persists across calls so that a query
+    composed of several simulation phases (e.g. one call per window) warms
+    caches realistically; :meth:`reset_hierarchy` starts a fresh query.
+    """
+
+    def __init__(
+        self, spec: SystemSpec, sim: SimulationConfig = DEFAULT_CONFIG
+    ):
+        self.spec = spec
+        self.sim = sim
+        self.memory = SystemMemory(spec)
+        gpu = spec.gpu
+        self.l1 = LruCache(gpu.l1_bytes, gpu.cacheline_bytes)
+        self.l2 = SetAssociativeCache(gpu.l2_bytes, gpu.cacheline_bytes, ways=16)
+        self.tlb = LruTlb(spec.tlb_entries)
+        if gpu.cacheline_bytes & (gpu.cacheline_bytes - 1) != 0:
+            raise ConfigurationError(
+                f"cacheline size must be a power of two, got {gpu.cacheline_bytes}"
+            )
+        if gpu.tlb_entry_bytes & (gpu.tlb_entry_bytes - 1) != 0:
+            raise ConfigurationError(
+                f"TLB entry granule must be a power of two, got "
+                f"{gpu.tlb_entry_bytes}"
+            )
+        self._line_shift = gpu.cacheline_bytes.bit_length() - 1
+        self._page_shift = gpu.tlb_entry_bytes.bit_length() - 1
+
+    def reset_hierarchy(self) -> None:
+        """Clear cache and TLB state (start of a new query)."""
+        self.l1.reset()
+        self.l2.reset()
+        self.tlb.reset()
+
+    # ------------------------------------------------------------------
+    # Event-level simulation.
+    # ------------------------------------------------------------------
+
+    def coalesced_lines(
+        self, trace: LookupTrace, interleave_width: Optional[int] = None
+    ) -> tuple:
+        """Flatten a trace into GPU transaction order with warp coalescing.
+
+        Waves of ``interleave_width`` lookups run concurrently; within a
+        wave, step s of every lookup precedes step s+1 of any lookup
+        (round-robin).  Lanes of one warp (32 consecutive lookups) that
+        touch the same cacheline in the same step *coalesce* into a single
+        memory transaction -- the mechanism that makes partition-ordered
+        lookups cheap (Section 4.1 cites Harmonia's coalesced accesses
+        after sorting).  Inactive entries (-1) are dropped.
+
+        Returns ``(lines, issued)``: the cacheline-id transaction stream
+        and the number of lane-level accesses it represents.
+        """
+        width = interleave_width or self.sim.interleave_width
+        if width <= 0:
+            raise ConfigurationError(
+                f"interleave width must be positive, got {width}"
+            )
+        warp = self.spec.gpu.warp_size
+        matrix = trace.step_addresses
+        num_lookups = trace.num_lookups
+        issued = 0
+        parts = []
+        for start in range(0, num_lookups, width):
+            block = matrix[:, start : start + width]
+            wave_width = block.shape[1]
+            padded_width = -(-wave_width // warp) * warp
+            for step in range(block.shape[0]):
+                row = block[step]
+                active = row >= 0
+                issued += int(np.count_nonzero(active))
+                if not active.any():
+                    continue
+                lines = np.where(active, row >> self._line_shift, np.int64(-1))
+                if padded_width != wave_width:
+                    lines = np.concatenate(
+                        [lines, np.full(padded_width - wave_width, -1,
+                                        dtype=np.int64)]
+                    )
+                by_warp = np.sort(lines.reshape(-1, warp), axis=1)
+                first = np.ones_like(by_warp, dtype=bool)
+                first[:, 1:] = by_warp[:, 1:] != by_warp[:, :-1]
+                first &= by_warp >= 0
+                parts.append(by_warp[first])
+        if not parts:
+            return np.empty(0, dtype=np.int64), issued
+        return np.concatenate(parts), issued
+
+    def simulate_lookups(
+        self,
+        trace: LookupTrace,
+        simulate_tlb: bool = True,
+        interleave_width: Optional[int] = None,
+        shuffle: bool = False,
+    ) -> PerfCounters:
+        """Replay a trace: warp coalescing -> L2 -> interconnect (-> TLB).
+
+        Coalesced lane accesses count as ``l1_hits`` (they are satisfied
+        within the SM, like the L1 hits the paper discusses); surviving
+        transactions go through the L2, and L2 misses go remote.  Returns
+        raw counters for the trace.  ``simulate_tlb=False`` skips the event
+        TLB (partition-ordered streams account for the TLB analytically;
+        see module docstring) -- remote accesses are still counted.
+
+        ``shuffle=True`` randomizes transaction order after coalescing.
+        Use it for random-order (naive) probes: real warps progress at
+        independent rates, so the TLB sees a mix of all traversal levels
+        at once; replaying steps in lockstep would let mid-size levels
+        enjoy artificial within-step TLB residency.
+        """
+        stream, issued = self.coalesced_lines(trace, interleave_width)
+        if shuffle and len(stream) > 0:
+            rng = np.random.default_rng(self.sim.seed ^ 0x5A)
+            stream = rng.permutation(stream)
+        counters = PerfCounters()
+        counters.lookups = float(trace.num_lookups)
+        counters.memory_accesses = float(issued)
+        if len(stream) == 0:
+            return counters
+        page_line_shift = self._page_shift - self._line_shift
+        l2 = self.l2
+        tlb = self.tlb
+        l2_hits = 0
+        remote = 0
+        tlb_misses = 0
+        cold_before = self.tlb.cold_misses
+        lines = stream.tolist()
+        for line in lines:
+            if l2.access(line):
+                l2_hits += 1
+                continue
+            remote += 1
+            if simulate_tlb and not tlb.access(line >> page_line_shift):
+                tlb_misses += 1
+        counters.l1_hits = float(issued - len(stream))
+        counters.l2_hits = float(l2_hits)
+        counters.remote_accesses = float(remote)
+        counters.remote_bytes = float(remote * self.spec.gpu.cacheline_bytes)
+        counters.tlb_misses = float(tlb_misses)
+        counters.tlb_cold_misses = float(self.tlb.cold_misses - cold_before)
+        counters.translation_requests = (
+            tlb_misses * self.spec.gpu.tlb_replay_factor
+        )
+        return counters
+
+    def scale_lookup_counters(
+        self,
+        raw: PerfCounters,
+        target_lookups: float,
+        replay_factor: Optional[float] = None,
+    ) -> PerfCounters:
+        """Extrapolate a sampled lookup simulation to ``target_lookups``.
+
+        Everything scales linearly with the lookup count except cold
+        (first-touch) TLB misses: the page universe is fixed, so those are
+        a one-off cost of the whole query, not of each sampled lookup.
+        Capacity misses -- the thrashing signal -- scale linearly.
+
+        ``replay_factor`` overrides the GPU default: divergent warps
+        replay translations per distinct page their lanes touch, so the
+        factor depends on the index's traversal style (see
+        ``Index.tlb_replay_factor``).
+        """
+        if raw.lookups <= 0:
+            raise SimulationError("raw counters contain no lookups to scale")
+        if target_lookups < raw.lookups:
+            raise SimulationError(
+                f"target {target_lookups} is smaller than the sample "
+                f"{raw.lookups}"
+            )
+        if replay_factor is None:
+            replay_factor = self.spec.gpu.tlb_replay_factor
+        scale = target_lookups / raw.lookups
+        scaled = raw.scaled(scale)
+        steady_misses = max(0.0, raw.tlb_misses - raw.tlb_cold_misses)
+        scaled.tlb_misses = steady_misses * scale + raw.tlb_cold_misses
+        scaled.tlb_cold_misses = raw.tlb_cold_misses
+        scaled.translation_requests = scaled.tlb_misses * replay_factor
+        return scaled
+
+    # ------------------------------------------------------------------
+    # Bulk-traffic counter builders (no event simulation needed).
+    # ------------------------------------------------------------------
+
+    def scan_counters(self, num_bytes: float) -> PerfCounters:
+        """Sequential bulk read from host memory over the interconnect.
+
+        Table scans and window ingests use streaming transfers that the
+        paper's baseline relies on; they prefetch linearly, so the TLB is
+        not stressed ("its table scan is not subject to frequent TLB
+        misses", Section 4.3.1).
+        """
+        if num_bytes < 0:
+            raise SimulationError(f"scan bytes must be non-negative: {num_bytes}")
+        counters = PerfCounters()
+        counters.scan_bytes = float(num_bytes)
+        counters.remote_bytes = float(num_bytes)
+        return counters
+
+    def gpu_random_counters(
+        self, num_accesses: float, bytes_per_access: float = 32.0
+    ) -> PerfCounters:
+        """Random accesses to GPU device memory (hash probes, scatters).
+
+        GPU memory transacts in 32-byte sectors; a random 8-16 byte touch
+        still moves one sector.
+        """
+        if num_accesses < 0:
+            raise SimulationError(
+                f"access count must be non-negative: {num_accesses}"
+            )
+        counters = PerfCounters()
+        counters.gpu_memory_accesses = float(num_accesses)
+        counters.gpu_memory_bytes = float(num_accesses * bytes_per_access)
+        return counters
+
+    def gpu_bulk_counters(self, num_bytes: float) -> PerfCounters:
+        """Sequential traffic within GPU device memory (partition passes)."""
+        if num_bytes < 0:
+            raise SimulationError(f"bulk bytes must be non-negative: {num_bytes}")
+        counters = PerfCounters()
+        counters.gpu_memory_bytes = float(num_bytes)
+        return counters
+
+    def result_counters(self, num_bytes: float) -> PerfCounters:
+        """Join-result materialization into GPU memory (Section 3.2)."""
+        if num_bytes < 0:
+            raise SimulationError(f"result bytes must be non-negative: {num_bytes}")
+        counters = PerfCounters()
+        counters.result_bytes = float(num_bytes)
+        counters.gpu_memory_bytes = float(num_bytes)
+        return counters
+
+    def analytic_tlb_counters(
+        self, misses: float, replay_factor: Optional[float] = None
+    ) -> PerfCounters:
+        """Wrap an analytically computed TLB miss count in counters."""
+        if misses < 0:
+            raise SimulationError(f"miss count must be non-negative: {misses}")
+        if replay_factor is None:
+            replay_factor = self.spec.gpu.tlb_replay_factor
+        counters = PerfCounters()
+        counters.tlb_misses = float(misses)
+        counters.translation_requests = misses * replay_factor
+        return counters

@@ -1,0 +1,138 @@
+"""SIMT execution accounting: warps, sub-warps, and divergence.
+
+On NVIDIA GPUs a *warp* of 32 threads executes in lockstep (Section 2.2).
+When threads of one warp take different numbers of traversal steps -- the
+"filter divergence" of a selective join (Section 3.3.1) -- the warp runs for
+the longest lane, and shorter lanes idle.  Harmonia avoids some of this by
+rescheduling threads into *sub-warps* that cooperate on one lookup at a time.
+
+This module converts per-lookup step counts into warp-instruction counts,
+which the cost model prices against the GPU clock.  It is deliberately a
+counting model: instruction *mix* is summarized by a steps->instructions
+multiplier owned by :mod:`repro.perf.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimtCost:
+    """Result of a SIMT accounting pass.
+
+    Attributes:
+        warp_instructions: warp-level instructions executed (each costs one
+            issue slot regardless of how many lanes are active).
+        divergence_replays: extra instructions caused by divergence,
+            i.e. ``warp_instructions`` minus the ideal
+            ``sum(steps) / warp_size``.
+        active_lane_fraction: mean fraction of lanes doing useful work.
+    """
+
+    warp_instructions: float
+    divergence_replays: float
+    active_lane_fraction: float
+
+
+def warps_needed(num_threads: int, warp_size: int) -> int:
+    """Number of warps covering ``num_threads`` threads."""
+    if num_threads < 0:
+        raise ConfigurationError(
+            f"thread count must be non-negative, got {num_threads}"
+        )
+    if warp_size <= 0:
+        raise ConfigurationError(f"warp size must be positive, got {warp_size}")
+    return -(-num_threads // warp_size)
+
+
+def divergent_cost(steps_per_lookup: np.ndarray, warp_size: int) -> SimtCost:
+    """Warp-instruction cost of one-thread-per-lookup execution.
+
+    Lookups are assigned to warps in order (thread i -> warp i // 32, as the
+    INLJ kernel does).  Each warp executes ``max(steps)`` instructions over
+    its lanes; lanes that finish early idle, which is exactly the divergence
+    the paper's partitioning mitigates (similar traversal paths => similar
+    step counts within a warp).
+    """
+    steps = np.asarray(steps_per_lookup, dtype=np.float64)
+    if steps.ndim != 1:
+        raise ConfigurationError(f"steps must be one-dimensional, got {steps.ndim}")
+    if len(steps) == 0:
+        return SimtCost(0.0, 0.0, 1.0)
+    if np.any(steps < 0):
+        raise ConfigurationError("negative step counts are not meaningful")
+    if warp_size <= 0:
+        raise ConfigurationError(f"warp size must be positive, got {warp_size}")
+    num_warps = warps_needed(len(steps), warp_size)
+    padded = np.zeros(num_warps * warp_size, dtype=np.float64)
+    padded[: len(steps)] = steps
+    by_warp = padded.reshape(num_warps, warp_size)
+    per_warp = by_warp.max(axis=1)
+    warp_instructions = float(per_warp.sum())
+    useful = float(steps.sum())
+    ideal = useful / warp_size
+    total_slots = warp_instructions * warp_size
+    active_fraction = useful / total_slots if total_slots > 0 else 1.0
+    return SimtCost(
+        warp_instructions=warp_instructions,
+        divergence_replays=max(0.0, warp_instructions - ideal),
+        active_lane_fraction=active_fraction,
+    )
+
+
+def subwarp_lookup_cost(
+    steps_per_lookup: np.ndarray, warp_size: int, subwarp_size: int
+) -> SimtCost:
+    """Warp-instruction cost of Harmonia-style sub-warp execution.
+
+    A warp is split into ``warp_size / subwarp_size`` sub-warps; each
+    sub-warp processes the lookups of its lane group *serially* ("The
+    sub-warp progresses unto the next tuple, until each tuple in the initial
+    warp has been processed", Section 3.3.1).  Every node visit is one
+    cooperative instruction for the whole sub-warp, so the warp cost is the
+    maximum over its sub-warps of the *sum* of their lookups' steps -- sums
+    concentrate, which is why sub-warps suffer less divergence than
+    independent lanes.
+    """
+    steps = np.asarray(steps_per_lookup, dtype=np.float64)
+    if steps.ndim != 1:
+        raise ConfigurationError(f"steps must be one-dimensional, got {steps.ndim}")
+    if warp_size <= 0 or subwarp_size <= 0:
+        raise ConfigurationError(
+            f"warp and sub-warp sizes must be positive, got "
+            f"{warp_size}/{subwarp_size}"
+        )
+    if warp_size % subwarp_size != 0:
+        raise ConfigurationError(
+            f"sub-warp size {subwarp_size} must divide warp size {warp_size}"
+        )
+    if len(steps) == 0:
+        return SimtCost(0.0, 0.0, 1.0)
+    if np.any(steps < 0):
+        raise ConfigurationError("negative step counts are not meaningful")
+    subwarps_per_warp = warp_size // subwarp_size
+    num_warps = warps_needed(len(steps), warp_size)
+    padded = np.zeros(num_warps * warp_size, dtype=np.float64)
+    padded[: len(steps)] = steps
+    # Lookups map to warps contiguously; within a warp, lane l belongs to
+    # sub-warp l // subwarp_size, and that sub-warp serially processes the
+    # `subwarp_size` lookups of its lane group.
+    by_group = padded.reshape(num_warps, subwarps_per_warp, subwarp_size)
+    per_subwarp = by_group.sum(axis=2)
+    per_warp = per_subwarp.max(axis=1)
+    warp_instructions = float(per_warp.sum())
+    useful = float(steps.sum())
+    ideal = useful / subwarps_per_warp
+    active_fraction = useful / (warp_instructions * subwarps_per_warp) if (
+        warp_instructions > 0
+    ) else 1.0
+    return SimtCost(
+        warp_instructions=warp_instructions,
+        divergence_replays=max(0.0, warp_instructions - ideal),
+        active_lane_fraction=active_fraction,
+    )

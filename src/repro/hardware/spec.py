@@ -1,0 +1,434 @@
+"""Hardware specifications and machine presets.
+
+The numbers collected here come from the paper itself (Table 1, Section 3.2)
+and from the hardware analyses it builds on (Lutz et al., SIGMOD 2020/2022):
+
+* interconnect receive bandwidths: paper Table 1;
+* V100 TLB range of 32 GiB and ~3 us translation-request latency:
+  Section 3.3.2, citing Lutz et al. [30];
+* GPU core counts / memory bandwidths: vendor whitepapers cited by the
+  paper ([33] for V100).
+
+Nothing in this module computes; it is the single place where hardware
+constants live, so every model component and every experiment reads the
+same values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..units import GIB, GB, KIB, MIB, MICROSECOND
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """A CPU-GPU interconnect.
+
+    Attributes:
+        name: human-readable name, as in the paper's Table 1.
+        bandwidth_bytes: peak receive bandwidth in bytes/second (decimal GB/s
+            as reported by vendors; Table 1 of the paper).
+        latency_seconds: one-way latency of a single cacheline fetch.
+        random_efficiency: fraction of peak bandwidth achieved by
+            data-dependent (random) cacheline fetches issued from an index
+            traversal kernel.  This effective value folds together link
+            protocol overheads and the GPU's finite memory-level
+            parallelism for dependent accesses; it is calibrated so that
+            partitioned INLJ throughput at 111 GiB lands on the paper's
+            Fig. 5 anchors.  Fast interconnects sustain a much larger
+            absolute random-access bandwidth than PCIe (Lutz et al. [29]),
+            which is why the A100/PCIe4 crossover in Fig. 9 moves right.
+        translation_latency_seconds: round-trip cost of a GPU address
+            translation request to the CPU IOMMU ("on the order of 3 us",
+            Section 3.3.2).
+    """
+
+    name: str
+    bandwidth_bytes: float
+    latency_seconds: float
+    random_efficiency: float
+    translation_latency_seconds: float = 3.0 * MICROSECOND
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes}"
+            )
+        if self.latency_seconds <= 0:
+            raise ConfigurationError(
+                f"latency must be positive, got {self.latency_seconds}"
+            )
+        if not 0.0 < self.random_efficiency <= 1.0:
+            raise ConfigurationError(
+                "random_efficiency must be in (0, 1], got "
+                f"{self.random_efficiency}"
+            )
+        if self.translation_latency_seconds <= 0:
+            raise ConfigurationError(
+                "translation latency must be positive, got "
+                f"{self.translation_latency_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU's execution and memory-system parameters.
+
+    Attributes:
+        name: marketing name.
+        sm_count: number of streaming multiprocessors.
+        threads_per_sm: maximum resident threads per SM.
+        warp_size: threads per warp (32 on NVIDIA GPUs, Section 2.2).
+        clock_hz: SM clock.
+        memory_bandwidth_bytes: device (HBM) bandwidth in bytes/second.
+        memory_capacity_bytes: device memory capacity.
+        memory_random_efficiency: fraction of device bandwidth achieved by
+            random accesses (hash-table probes are such accesses).
+        l2_bytes: last-level cache capacity.
+        l1_bytes: per-SM L1/shared-memory capacity.
+        cacheline_bytes: cache line size (128 B on NVIDIA GPUs).
+        tlb_range_bytes: amount of memory the last-level TLB can map.  The
+            V100's is 32 GiB (Lutz et al. [30]); the paper's throughput
+            cliff sits exactly there.
+        tlb_entry_bytes: translation granularity of one TLB entry.  GPU
+            MMU caches translate at 2 MiB granularity even when the OS
+            backs memory with 1 GiB huge pages, so entry count =
+            range / 2 MiB.  (For uniform random access the miss *rate*
+            depends only on range/data-size, but sweep-order access --
+            partitioned lookups -- pays one miss per entry-granule.)
+        tlb_replay_factor: translation requests issued per TLB miss.  A
+            divergent warp replays a memory instruction for each distinct
+            page its lanes touch; measured request counts therefore exceed
+            the raw miss count.  Calibrated so binary search lands near the
+            paper's ~105 requests/key at 111 GiB (Section 3.3.2).
+    """
+
+    name: str
+    sm_count: int
+    threads_per_sm: int
+    warp_size: int
+    clock_hz: float
+    memory_bandwidth_bytes: float
+    memory_capacity_bytes: int
+    memory_random_efficiency: float
+    l2_bytes: int
+    l1_bytes: int
+    cacheline_bytes: int
+    tlb_range_bytes: int
+    tlb_entry_bytes: int
+    tlb_replay_factor: float
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "sm_count",
+            "threads_per_sm",
+            "warp_size",
+            "clock_hz",
+            "memory_bandwidth_bytes",
+            "memory_capacity_bytes",
+            "l2_bytes",
+            "l1_bytes",
+            "cacheline_bytes",
+            "tlb_range_bytes",
+            "tlb_entry_bytes",
+            "tlb_replay_factor",
+        )
+        for field in positive_fields:
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigurationError(f"{field} must be positive, got {value}")
+        if self.tlb_range_bytes % self.tlb_entry_bytes != 0:
+            raise ConfigurationError(
+                "TLB range must be a whole number of entry granules: "
+                f"{self.tlb_range_bytes} % {self.tlb_entry_bytes} != 0"
+            )
+        if not 0.0 < self.memory_random_efficiency <= 1.0:
+            raise ConfigurationError(
+                "memory_random_efficiency must be in (0, 1], got "
+                f"{self.memory_random_efficiency}"
+            )
+
+    @property
+    def tlb_entries(self) -> int:
+        """Number of last-level TLB entries."""
+        return self.tlb_range_bytes // self.tlb_entry_bytes
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Total threads the GPU can keep in flight at once."""
+        return self.sm_count * self.threads_per_sm
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Total warps the GPU can keep in flight at once."""
+        return self.max_resident_threads // self.warp_size
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """The host CPU and its memory, where base relations live.
+
+    The paper's machine has two POWER9 CPUs (16 cores each, 3.8 GHz) and
+    256 GiB of memory; CPU memory bandwidth is what ultimately bounds any
+    out-of-core access path (Section 1).
+    """
+
+    name: str
+    core_count: int
+    clock_hz: float
+    memory_bandwidth_bytes: float
+    memory_capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        for field in (
+            "core_count",
+            "clock_hz",
+            "memory_bandwidth_bytes",
+            "memory_capacity_bytes",
+        ):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigurationError(f"{field} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A complete benchmark machine: CPU + interconnect + GPU.
+
+    Attributes:
+        huge_page_bytes: operating-system page size backing the base
+            relations.  The paper uses 1 GiB huge pages (Section 3.2); the
+            GPU TLB entry count comes from the GPU spec, not the OS page size.
+    """
+
+    name: str
+    cpu: CpuSpec
+    gpu: GpuSpec
+    interconnect: InterconnectSpec
+    huge_page_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.huge_page_bytes <= 0:
+            raise ConfigurationError(
+                f"huge_page_bytes must be positive, got {self.huge_page_bytes}"
+            )
+        if self.huge_page_bytes & (self.huge_page_bytes - 1) != 0:
+            raise ConfigurationError(
+                f"huge_page_bytes must be a power of two, got "
+                f"{self.huge_page_bytes}"
+            )
+
+    @property
+    def tlb_entries(self) -> int:
+        """Number of last-level GPU TLB entries."""
+        return self.gpu.tlb_entries
+
+    def with_huge_pages(self, huge_page_bytes: int) -> "SystemSpec":
+        """Return a copy of this machine using a different OS page size."""
+        return replace(self, huge_page_bytes=huge_page_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Interconnect presets (paper Table 1: receive bandwidth).
+# ---------------------------------------------------------------------------
+
+PCIE4 = InterconnectSpec(
+    name="PCI-e 4.0",
+    bandwidth_bytes=32 * GB,
+    latency_seconds=1.3 * MICROSECOND,
+    # PCIe handles fine-grained, data-dependent accesses poorly (TLP
+    # overheads and no cacheline-granularity coherence); the absolute
+    # random bandwidth (32 GB/s x 0.40 = 12.8 GB/s) stays far below
+    # NVLink 2.0's (75 GB/s x 0.45 = 33.8 GB/s).
+    random_efficiency=0.40,
+)
+
+PCIE5 = InterconnectSpec(
+    name="PCI-e 5.0",
+    bandwidth_bytes=64 * GB,
+    latency_seconds=1.1 * MICROSECOND,
+    random_efficiency=0.40,
+)
+
+INFINITY_FABRIC3 = InterconnectSpec(
+    name="Infinity Fabric 3",
+    bandwidth_bytes=72 * GB,
+    latency_seconds=0.9 * MICROSECOND,
+    random_efficiency=0.42,
+)
+
+NVLINK2 = InterconnectSpec(
+    name="NVLink 2.0",
+    bandwidth_bytes=75 * GB,
+    latency_seconds=0.8 * MICROSECOND,
+    # Calibrated against the paper's Fig. 5: partitioned INLJ anchors of
+    # 0.6/0.7/1.0/1.9 Q/s at 111 GiB imply ~34 GB/s of effective
+    # dependent-access bandwidth on the V100 (see spec docstring).
+    random_efficiency=0.45,
+)
+
+NVLINK_C2C = InterconnectSpec(
+    name="NVLink C2C",
+    bandwidth_bytes=450 * GB,
+    latency_seconds=0.4 * MICROSECOND,
+    random_efficiency=0.50,
+)
+
+#: The rows of the paper's Table 1, in paper order: (GPU, interconnect).
+TABLE1_INTERCONNECTS = (
+    ("various", PCIE4),
+    ("various", PCIE5),
+    ("AMD MI250X", INFINITY_FABRIC3),
+    ("NVIDIA V100", NVLINK2),
+    ("NVIDIA GH200", NVLINK_C2C),
+)
+
+
+# ---------------------------------------------------------------------------
+# GPU presets.
+# ---------------------------------------------------------------------------
+
+_V100_GPU = GpuSpec(
+    name="NVIDIA Tesla V100-SXM2",
+    sm_count=80,
+    threads_per_sm=2048,
+    warp_size=32,
+    clock_hz=1.53e9,
+    memory_bandwidth_bytes=900 * GB,
+    memory_capacity_bytes=32 * GIB,
+    memory_random_efficiency=0.45,
+    l2_bytes=6 * MIB,
+    l1_bytes=128 * KIB,
+    cacheline_bytes=128,
+    tlb_range_bytes=32 * GIB,
+    tlb_entry_bytes=2 * MIB,
+    tlb_replay_factor=3.0,
+)
+
+_A100_GPU = GpuSpec(
+    name="NVIDIA A100",
+    sm_count=108,
+    threads_per_sm=2048,
+    warp_size=32,
+    clock_hz=1.41e9,
+    memory_bandwidth_bytes=1555 * GB,
+    memory_capacity_bytes=40 * GIB,
+    memory_random_efficiency=0.45,
+    l2_bytes=40 * MIB,
+    l1_bytes=192 * KIB,
+    cacheline_bytes=128,
+    # Ampere enlarged the MMU caches; the paper does not report an A100
+    # cliff, and with windowed partitioning (its Fig. 9 configuration) the
+    # TLB is not stressed.  We model a 64 GiB range.
+    tlb_range_bytes=64 * GIB,
+    tlb_entry_bytes=2 * MIB,
+    tlb_replay_factor=3.0,
+)
+
+_H200_GPU = GpuSpec(
+    name="NVIDIA GH200 (Hopper die)",
+    sm_count=132,
+    threads_per_sm=2048,
+    warp_size=32,
+    clock_hz=1.83e9,
+    memory_bandwidth_bytes=4000 * GB,
+    memory_capacity_bytes=96 * GIB,
+    memory_random_efficiency=0.50,
+    l2_bytes=60 * MIB,
+    l1_bytes=256 * KIB,
+    cacheline_bytes=128,
+    tlb_range_bytes=128 * GIB,
+    tlb_entry_bytes=2 * MIB,
+    tlb_replay_factor=3.0,
+)
+
+_MI250X_GPU = GpuSpec(
+    name="AMD MI250X (one GCD)",
+    sm_count=110,
+    threads_per_sm=2048,
+    warp_size=32,  # modelled as 32-wide for comparability
+    clock_hz=1.7e9,
+    memory_bandwidth_bytes=1638 * GB,
+    memory_capacity_bytes=64 * GIB,
+    memory_random_efficiency=0.45,
+    l2_bytes=8 * MIB,
+    l1_bytes=128 * KIB,
+    cacheline_bytes=128,
+    tlb_range_bytes=32 * GIB,
+    tlb_entry_bytes=2 * MIB,
+    tlb_replay_factor=3.0,
+)
+
+
+# ---------------------------------------------------------------------------
+# CPU presets.
+# ---------------------------------------------------------------------------
+
+_POWER9 = CpuSpec(
+    name="IBM POWER9 (2 sockets)",
+    core_count=32,
+    clock_hz=3.8e9,
+    memory_bandwidth_bytes=110 * GB,
+    memory_capacity_bytes=256 * GIB,
+)
+
+_EPYC = CpuSpec(
+    name="AMD EPYC 7742",
+    core_count=64,
+    clock_hz=2.25e9,
+    memory_bandwidth_bytes=190 * GB,
+    memory_capacity_bytes=512 * GIB,
+)
+
+_GRACE = CpuSpec(
+    name="NVIDIA Grace",
+    core_count=72,
+    clock_hz=3.1e9,
+    memory_bandwidth_bytes=384 * GB,
+    memory_capacity_bytes=480 * GIB,
+)
+
+
+# ---------------------------------------------------------------------------
+# Machine presets.
+# ---------------------------------------------------------------------------
+
+#: The paper's primary testbed (Section 3.2): POWER9 + V100 over NVLink 2.0
+#: with 1 GiB huge pages.
+V100_NVLINK2 = SystemSpec(
+    name="POWER9 + V100 / NVLink 2.0",
+    cpu=_POWER9,
+    gpu=_V100_GPU,
+    interconnect=NVLINK2,
+    huge_page_bytes=1 * GIB,
+)
+
+#: The paper's secondary testbed (Section 5.2.3): A100 over PCIe 4.0.
+A100_PCIE4 = SystemSpec(
+    name="EPYC + A100 / PCI-e 4.0",
+    cpu=_EPYC,
+    gpu=_A100_GPU,
+    interconnect=PCIE4,
+    huge_page_bytes=1 * GIB,
+)
+
+#: A GH200-class what-if machine (Table 1's last row; used by the
+#: extrapolation ablation, not by any paper figure).
+GH200_C2C = SystemSpec(
+    name="GH200 / NVLink C2C",
+    cpu=_GRACE,
+    gpu=_H200_GPU,
+    interconnect=NVLINK_C2C,
+    huge_page_bytes=1 * GIB,
+)
+
+#: An MI250X-class machine (Table 1's Infinity Fabric row).
+MI250X_IF3 = SystemSpec(
+    name="EPYC + MI250X / Infinity Fabric 3",
+    cpu=_EPYC,
+    gpu=_MI250X_GPU,
+    interconnect=INFINITY_FABRIC3,
+    huge_page_bytes=1 * GIB,
+)

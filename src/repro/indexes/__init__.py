@@ -1,0 +1,48 @@
+"""Index structures evaluated by the paper (Section 3.1).
+
+Four indexes over a sorted key column, all usable functionally (exact
+lookups on real or virtual columns) and under simulation (producing the
+address traces the machine model replays):
+
+* :class:`~repro.indexes.binary_search.BinarySearchIndex` -- no auxiliary
+  structure; searches the base column directly.
+* :class:`~repro.indexes.btree.BPlusTreeIndex` -- a textbook B+tree with
+  4 KiB nodes.
+* :class:`~repro.indexes.harmonia.HarmoniaIndex` -- Yan et al.'s
+  GPU-optimized B+tree: 32-key nodes in a breadth-first key region,
+  children located by prefix sums, cooperative sub-warp traversal.
+* :class:`~repro.indexes.radix_spline.RadixSplineIndex` -- Kipf et al.'s
+  single-pass learned index: spline points plus a radix table.
+"""
+
+from .base import Index, LookupResult, TraceRecorder
+from .binary_search import BinarySearchIndex
+from .btree import BPlusTreeIndex
+from .fast_tree import FastTreeIndex
+from .harmonia import HarmoniaIndex
+from .radix_spline import RadixSplineIndex
+
+#: All paper indexes, in the order the figures list them.
+ALL_INDEX_TYPES = (
+    BPlusTreeIndex,
+    BinarySearchIndex,
+    HarmoniaIndex,
+    RadixSplineIndex,
+)
+
+#: Additional structures from the paper's related work (Section 2.2),
+#: implemented as extensions; not part of the paper's evaluated quartet.
+EXTENSION_INDEX_TYPES = (FastTreeIndex,)
+
+__all__ = [
+    "Index",
+    "LookupResult",
+    "TraceRecorder",
+    "BinarySearchIndex",
+    "BPlusTreeIndex",
+    "FastTreeIndex",
+    "HarmoniaIndex",
+    "RadixSplineIndex",
+    "ALL_INDEX_TYPES",
+    "EXTENSION_INDEX_TYPES",
+]

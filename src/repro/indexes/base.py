@@ -1,0 +1,205 @@
+"""Shared index interface and trace recording.
+
+Every index implements one traversal routine, ``_traverse``, used two ways:
+
+* ``lookup(keys)`` runs it without a recorder -- a pure, vectorized
+  functional lookup usable at any scale;
+* ``trace_lookups(keys)`` runs the same code with a
+  :class:`TraceRecorder`, capturing the byte address of every memory
+  access so the machine model can replay it.
+
+One code path for both guarantees the simulated access pattern is exactly
+the access pattern of the functional algorithm, which is the property the
+whole reproduction rests on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..data.relation import Relation
+from ..errors import SimulationError
+from ..gpu.executor import LookupTrace
+from ..gpu.simt import SimtCost, divergent_cost
+from ..hardware.memory import SystemMemory
+
+
+class TraceRecorder:
+    """Collects per-step access addresses during a traversal.
+
+    Each call to :meth:`record` adds one traversal step: an int64 address
+    array of length ``num_lookups`` with -1 marking lookups that are
+    inactive at that step.
+    """
+
+    def __init__(self, num_lookups: int):
+        if num_lookups <= 0:
+            raise SimulationError(
+                f"recorder needs a positive lookup count, got {num_lookups}"
+            )
+        self.num_lookups = num_lookups
+        self._steps = []
+
+    def record(
+        self, addresses: np.ndarray, active: Optional[np.ndarray] = None
+    ) -> None:
+        """Record one step.  ``active`` masks lookups participating in it."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.shape != (self.num_lookups,):
+            raise SimulationError(
+                f"step must have shape ({self.num_lookups},), got "
+                f"{addresses.shape}"
+            )
+        if active is not None:
+            addresses = np.where(active, addresses, np.int64(-1))
+        self._steps.append(addresses)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self._steps)
+
+    def build(self) -> LookupTrace:
+        """Assemble the recorded steps into a :class:`LookupTrace`."""
+        if not self._steps:
+            matrix = np.empty((0, self.num_lookups), dtype=np.int64)
+        else:
+            matrix = np.stack(self._steps, axis=0)
+        steps_per_lookup = (matrix >= 0).sum(axis=0).astype(np.int64)
+        return LookupTrace(
+            step_addresses=matrix, steps_per_lookup=steps_per_lookup
+        )
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a traced lookup batch.
+
+    Attributes:
+        positions: per-key position in the indexed column, -1 if absent.
+        trace: the recorded memory accesses.
+        simt: warp-instruction cost of executing the batch.
+    """
+
+    positions: np.ndarray
+    trace: LookupTrace
+    simt: SimtCost
+
+
+class Index(abc.ABC):
+    """A secondary index over a relation's sorted key column.
+
+    Lifecycle: construct over a relation (builds the logical structure),
+    optionally :meth:`place` it into simulated host memory (reserves
+    capacity and fixes addresses), then :meth:`lookup` or
+    :meth:`trace_lookups`.
+
+    Class attribute ``name`` labels figures; ``supports_updates`` records
+    the paper's Section 6 guidance (Harmonia and the B+tree can absorb
+    inserts; binary search and the RadixSpline assume static data).
+
+    ``tlb_replay_factor`` converts last-level-TLB misses into the
+    *translation requests* the paper's hardware counters report.  A single
+    miss fans out into several requests on real hardware (divergent warps
+    replay memory instructions per distinct page, and the uTLB hierarchy
+    re-requests); the per-index factors are calibrated against the paper's
+    Fig. 4 anchors (~105 requests/key for binary search, ~11.3 for
+    Harmonia, at 111 GiB) and absorb TLB-hierarchy effects the single-level
+    LRU model does not capture.
+    """
+
+    name: str = "index"
+    supports_updates: bool = False
+    tlb_replay_factor: float = 6.0
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.column = relation.column
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def footprint_bytes(self) -> int:
+        """Memory consumed by the index structure, excluding the data."""
+
+    @property
+    @abc.abstractmethod
+    def height(self) -> int:
+        """Number of structure levels a lookup traverses."""
+
+    @abc.abstractmethod
+    def place(self, memory: SystemMemory) -> None:
+        """Allocate the index structure in simulated host memory.
+
+        The paper stores all index structures in CPU memory and accesses
+        them over the interconnect (Section 3.2).  Raises
+        :class:`~repro.errors.CapacityError` when the structure does not
+        fit -- which is exactly how the paper's B+tree and Harmonia hit
+        their reduced R limits.
+        """
+
+    @property
+    def is_placed(self) -> bool:
+        return getattr(self, "_placed", False)
+
+    def _require_placed(self) -> None:
+        if not self.is_placed:
+            raise SimulationError(
+                f"{self.name} must be placed in simulated memory before "
+                "tracing lookups"
+            )
+
+    # ------------------------------------------------------------------
+    # Lookups.
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _traverse(
+        self, keys: np.ndarray, recorder: Optional[TraceRecorder]
+    ) -> np.ndarray:
+        """Locate ``keys``; optionally record accesses.  Returns positions."""
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Functional lookup: position of each key in the column, -1 if absent."""
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._traverse(keys, recorder=None)
+
+    def trace_lookups(self, keys: np.ndarray) -> LookupResult:
+        """Lookup with full access tracing for the machine model."""
+        self._require_placed()
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            raise SimulationError("cannot trace an empty lookup batch")
+        recorder = TraceRecorder(len(keys))
+        positions = self._traverse(keys, recorder=recorder)
+        trace = recorder.build()
+        simt = self._simt_cost(trace.steps_per_lookup)
+        return LookupResult(positions=positions, trace=trace, simt=simt)
+
+    def _simt_cost(self, steps_per_lookup: np.ndarray) -> SimtCost:
+        """SIMT accounting; one thread per lookup unless overridden."""
+        return divergent_cost(steps_per_lookup, warp_size=32)
+
+    # ------------------------------------------------------------------
+    # Analytic locality (partition-ordered TLB model; see
+    # repro.perf.analytic for why this is closed-form).
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def expected_sweep_pages(
+        self,
+        window_lookups: float,
+        page_bytes: int,
+        l2_bytes: int,
+        cacheline_bytes: int,
+    ) -> float:
+        """Expected distinct TLB pages touched by one partition-ordered
+        window of ``window_lookups`` lookups."""

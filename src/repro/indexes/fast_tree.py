@@ -1,0 +1,176 @@
+"""A FAST-style implicit BFS search tree (Kim et al., SIGMOD 2010 [24]).
+
+The paper's related work (Section 2.2) lists FAST among the
+GPU-optimized index structures.  FAST stores a binary search tree in
+breadth-first (Eytzinger) order: the root at slot 1, node ``k``'s
+children at ``2k`` and ``2k+1``.  Compared to binary search over the
+sorted array, the layout concentrates the hot upper levels into a few
+contiguous cachelines, so they stay resident; compared to a B+tree it
+needs no separator logic.  (Real FAST adds hierarchical page/SIMD
+blocking; this model keeps the plain Eytzinger layout and documents the
+difference.)
+
+Like the other indexes, the tree is *implicit* over the sorted column:
+the key of BFS slot ``k`` is computable from ``k`` alone, so a 120 GiB
+tree costs no real memory -- but its simulated footprint (a full BFS copy
+of the keys, padded to a complete tree) is charged to host memory.
+
+Not part of the paper's evaluated quartet; used by the extension
+experiments and available through the planner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..data.column import KEY_DTYPE
+from ..data.relation import Relation
+from ..errors import SimulationError
+from ..hardware.memory import MemorySpace, SystemMemory
+from ..perf.analytic import level_sweep_pages
+from ..units import KEY_BYTES
+from .base import Index, TraceRecorder
+
+_MAX_KEY = np.uint64(np.iinfo(np.uint64).max)
+
+
+class FastTreeIndex(Index):
+    """Implicit Eytzinger-layout binary search tree over a sorted column."""
+
+    name = "FAST tree"
+    supports_updates = False
+    # Divergent one-lookup-per-lane traversal, like plain binary search.
+    tlb_replay_factor = 8.0
+
+    def __init__(self, relation: Relation):
+        super().__init__(relation)
+        n = len(self.column)
+        #: tree height: levels of the padded complete tree.
+        self.tree_height = max(1, math.ceil(math.log2(n + 1)))
+        #: slots of the padded complete tree (1-based BFS, slot 0 unused).
+        self.padded_slots = (1 << self.tree_height) - 1
+        self._allocation = None
+        self._placed = False
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint_bytes(self) -> int:
+        # A BFS copy of the keys, padded to the complete tree.
+        return self.padded_slots * KEY_BYTES
+
+    @property
+    def height(self) -> int:
+        return self.tree_height
+
+    def place(self, memory: SystemMemory) -> None:
+        if self.relation.allocation is None:
+            raise SimulationError(
+                "place the relation before placing its FAST tree"
+            )
+        self._allocation = memory.allocate(
+            self.footprint_bytes, MemorySpace.HOST, label="FAST tree"
+        )
+        self._placed = True
+
+    # ------------------------------------------------------------------
+    # Implicit BFS <-> rank mapping.
+    # ------------------------------------------------------------------
+
+    def _ranks_of_slots(self, slots: np.ndarray) -> np.ndarray:
+        """In-order rank of 1-based BFS slots in the padded complete tree.
+
+        Slot ``k`` at depth ``d`` is the ``(k - 2^d)``-th node of its
+        level; its subtree spans ``2^(h-d)`` ranks, and the node sits in
+        the middle: ``rank = (k - 2^d) * 2^(h-d) + 2^(h-d-1) - 1``.
+        """
+        slots = slots.astype(np.int64)
+        depth = np.frexp(slots.astype(np.float64))[1] - 1
+        level_start = np.int64(1) << depth
+        subtree = np.int64(1) << (self.tree_height - depth)
+        return (slots - level_start) * subtree + (subtree >> 1) - 1
+
+    def _keys_of_slots(self, slots: np.ndarray) -> np.ndarray:
+        """Keys stored at BFS slots; padding slots hold MAX."""
+        ranks = self._ranks_of_slots(slots)
+        n = len(self.column)
+        exists = ranks < n
+        safe = np.where(exists, ranks, 0)
+        keys = self.column.key_at(safe)
+        return np.where(exists, keys, _MAX_KEY)
+
+    # ------------------------------------------------------------------
+    # Traversal (vectorized Eytzinger lower bound).
+    # ------------------------------------------------------------------
+
+    def _traverse(
+        self, keys: np.ndarray, recorder: Optional[TraceRecorder]
+    ) -> np.ndarray:
+        keys = np.asarray(keys, dtype=KEY_DTYPE)
+        count = len(keys)
+        slots = np.ones(count, dtype=np.int64)
+        base = self._allocation.base if recorder is not None else 0
+        for __ in range(self.tree_height):
+            if recorder is not None:
+                recorder.record(base + slots * KEY_BYTES)
+            slot_keys = self._keys_of_slots(slots)
+            slots = 2 * slots + (slot_keys < keys).astype(np.int64)
+        # Lower-bound extraction: drop the trailing 1-bits plus one --
+        # the last left turn on the search path is the lower bound.
+        trailing_one_block = (~slots) & (slots + 1)  # == 1 << trailing_ones
+        shift = np.rint(np.log2(trailing_one_block.astype(np.float64))).astype(
+            np.int64
+        )
+        bound_slots = slots >> (shift + 1)
+        found_mask = bound_slots > 0
+        if recorder is not None:
+            # Final verification read of the candidate match.
+            recorder.record(
+                base + np.where(found_mask, bound_slots, 1) * KEY_BYTES,
+                active=found_mask,
+            )
+        safe_slots = np.where(found_mask, bound_slots, 1)
+        ranks = self._ranks_of_slots(safe_slots)
+        n = len(self.column)
+        in_range = found_mask & (ranks < n)
+        safe_ranks = np.where(in_range, ranks, 0)
+        matches = in_range & (self.column.key_at(safe_ranks) == keys)
+        return np.where(matches, ranks, np.int64(-1))
+
+    # ------------------------------------------------------------------
+    # Analytic locality.
+    # ------------------------------------------------------------------
+
+    def expected_sweep_pages(
+        self,
+        window_lookups: float,
+        page_bytes: int,
+        l2_bytes: int,
+        cacheline_bytes: int,
+    ) -> float:
+        """BFS levels are contiguous arrays; sweep each level once.
+
+        This is FAST's locality advantage over plain binary search: level
+        ``d`` occupies a contiguous ``2^d * 8`` bytes, so the upper levels
+        fit the L2 and the lower ones sweep like B+tree levels instead of
+        scattering like mid-tree jumps.
+        """
+        total = 0.0
+        cumulative = 0
+        for depth in range(self.tree_height):
+            level_bytes = (1 << depth) * KEY_BYTES
+            if cumulative + level_bytes <= l2_bytes:
+                cumulative += level_bytes
+                continue
+            cumulative += level_bytes
+            total += level_sweep_pages(
+                window_lookups=window_lookups,
+                span_bytes=level_bytes,
+                page_bytes=page_bytes,
+            )
+        return total

@@ -1,0 +1,35 @@
+"""Join operators: INLJ variants and the hash-join baseline.
+
+* :class:`~repro.join.inlj.IndexNestedLoopJoin` -- the textbook INLJ of
+  Section 3: one GPU thread per probe tuple, index lookup in the inner
+  loop.
+* :class:`~repro.join.partitioned.PartitionedINLJ` -- Section 4: radix
+  partition *all* lookup keys (materializing them), then run the INLJ.
+* :class:`~repro.join.window.WindowedINLJ` -- Section 5, the paper's
+  contribution: partition the probe stream inside tumbling windows,
+  pipelined, without materializing either input.
+* :class:`~repro.join.hash_join.HashJoin` -- the WarpCore-style
+  multi-value hash join baseline of Section 3.2.
+
+Each operator has a functional ``join`` (exact results, laptop scale) and a
+simulated ``estimate`` (cost-model throughput at paper scale).
+"""
+
+from .base import JoinResult, QueryEnvironment, reference_join
+from .hash_join import HashJoin, MultiValueHashTable
+from .inlj import IndexNestedLoopJoin
+from .partitioned import PartitionedINLJ
+from .partitioned_hash import PartitionedHashJoin
+from .window import WindowedINLJ
+
+__all__ = [
+    "JoinResult",
+    "QueryEnvironment",
+    "reference_join",
+    "HashJoin",
+    "MultiValueHashTable",
+    "IndexNestedLoopJoin",
+    "PartitionedINLJ",
+    "PartitionedHashJoin",
+    "WindowedINLJ",
+]

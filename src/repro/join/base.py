@@ -1,0 +1,141 @@
+"""Join plumbing: results, reference join, and the query environment.
+
+:class:`QueryEnvironment` wires together everything a simulated query run
+needs -- the machine model, the placed relations and index, the cost model,
+and the sampling configuration -- mirroring the paper's methodology
+(Section 3.2): the index already exists when the query runs, R and S and
+all index structures live in CPU memory, results materialize into GPU
+memory, and throughput covers the entire query run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, SimulationConfig
+from ..data.column import Column
+from ..data.generator import WorkloadConfig, make_build_relation
+from ..data.relation import Relation
+from ..errors import WorkloadError
+from ..gpu.executor import MachineModel
+from ..hardware.memory import MemorySpace
+from ..hardware.spec import SystemSpec
+from ..perf.model import CalibrationConstants, CostModel, DEFAULT_CALIBRATION
+from ..units import KEY_BYTES
+
+#: Bytes per materialized join-result pair (probe index + build position).
+RESULT_PAIR_BYTES = 16
+
+
+@dataclass
+class JoinResult:
+    """Pairs produced by an equi-join of S against R.
+
+    Attributes:
+        probe_indices: index of the S tuple of each pair.
+        build_positions: position of the matching R tuple.
+    """
+
+    probe_indices: np.ndarray
+    build_positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.probe_indices) != len(self.build_positions):
+            raise WorkloadError(
+                "result arrays must have equal length: "
+                f"{len(self.probe_indices)} != {len(self.build_positions)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.probe_indices)
+
+    def sorted_by_probe(self) -> "JoinResult":
+        """Canonical order for comparisons across join algorithms."""
+        order = np.lexsort((self.build_positions, self.probe_indices))
+        return JoinResult(
+            probe_indices=self.probe_indices[order],
+            build_positions=self.build_positions[order],
+        )
+
+    def equals(self, other: "JoinResult") -> bool:
+        """Set equality regardless of pair order."""
+        mine = self.sorted_by_probe()
+        theirs = other.sorted_by_probe()
+        return bool(
+            np.array_equal(mine.probe_indices, theirs.probe_indices)
+            and np.array_equal(mine.build_positions, theirs.build_positions)
+        )
+
+
+def reference_join(column: Column, probe_keys: np.ndarray) -> JoinResult:
+    """Ground-truth join of probe keys against a unique-key column.
+
+    R holds unique keys (Section 3.2), so each probe matches at most one
+    position; the reference is a direct rank computation.
+    """
+    positions = column.rank_of(np.asarray(probe_keys))
+    matched = positions >= 0
+    return JoinResult(
+        probe_indices=np.nonzero(matched)[0].astype(np.int64),
+        build_positions=positions[matched],
+    )
+
+
+class QueryEnvironment:
+    """A machine with the workload's relations (and index) placed in it.
+
+    Construction performs the paper's setup phase: R in CPU memory, S in
+    CPU memory, the index built and placed in CPU memory.  Placement uses
+    the simulated allocator, so over-capacity configurations raise
+    :class:`~repro.errors.CapacityError` exactly where the paper's
+    hardware ran out of memory.
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        workload: WorkloadConfig,
+        index_cls: Optional[Type] = None,
+        sim: SimulationConfig = DEFAULT_CONFIG,
+        calibration: CalibrationConstants = DEFAULT_CALIBRATION,
+        index_kwargs: Optional[dict] = None,
+    ):
+        self.spec = spec
+        self.workload = workload
+        self.sim = sim
+        self.machine = MachineModel(spec, sim)
+        self.cost_model = CostModel(spec, calibration)
+        self.relation = make_build_relation(workload)
+        self.relation.place(self.machine.memory, MemorySpace.HOST)
+        self.probe_allocation = self.machine.memory.allocate(
+            workload.s_tuples * KEY_BYTES, MemorySpace.HOST, label="relation S"
+        )
+        self.index = None
+        if index_cls is not None:
+            kwargs = index_kwargs or {}
+            self.index = index_cls(self.relation, **kwargs)
+            self.index.place(self.machine.memory)
+
+    @property
+    def column(self) -> Column:
+        return self.relation.column
+
+    @property
+    def s_bytes(self) -> int:
+        return self.workload.s_tuples * KEY_BYTES
+
+    @property
+    def r_bytes(self) -> int:
+        return self.relation.nbytes
+
+    def result_bytes(self) -> float:
+        """Expected join-result materialization volume."""
+        matches = self.workload.s_tuples * self.workload.match_rate
+        return matches * RESULT_PAIR_BYTES
+
+    def scale(self) -> float:
+        """Sample-to-full-relation counter scale factor."""
+        return self.sim.scale_factor(self.workload.s_tuples)

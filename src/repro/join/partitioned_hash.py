@@ -1,0 +1,181 @@
+"""A radix-partitioned (Grace-style) hash join, for Section 2.3's argument.
+
+The paper contrasts its windowed approach with classic partitioned joins:
+"with some exceptions, partitioned joins are detrimental to overall query
+performance [Bandle et al.].  On top, partitioning both inputs consumes
+additional memory equal to the input size."  This operator implements that
+alternative so the claim can be measured:
+
+* both inputs are radix-partitioned on the join key;
+* co-partitions are joined pairwise with a hash table per partition;
+* the partitioned copy of R is materialized -- in GPU memory when it
+  fits, otherwise back in CPU memory, which at out-of-core scale means
+  reading *and* writing R across the interconnect before the join even
+  starts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..config import DEFAULT_HASH_BLOCK_KEYS, DEFAULT_HASH_LOAD_FACTOR
+from ..data.column import KEY_DTYPE, MaterializedColumn
+from ..data.relation import Relation
+from ..errors import WorkloadError
+from ..hardware.memory import MemorySpace
+from ..partition.radix import RadixPartitioner
+from ..perf.model import QueryCost
+from .base import JoinResult, QueryEnvironment
+from .hash_join import MultiValueHashTable
+
+#: Partitioned tuples carry key + source index.
+_TUPLE_BYTES = 16
+
+#: Device-memory passes of the radix partitioner (histogram + scatter).
+_PARTITION_PASSES = 2.0
+
+
+class PartitionedHashJoin:
+    """Radix-partition both inputs, then hash-join co-partitions."""
+
+    name = "partitioned hash join"
+
+    def __init__(
+        self,
+        relation: Relation,
+        partitioner: RadixPartitioner,
+        load_factor: float = DEFAULT_HASH_LOAD_FACTOR,
+        block_keys: int = DEFAULT_HASH_BLOCK_KEYS,
+    ):
+        self.relation = relation
+        self.partitioner = partitioner
+        self.load_factor = load_factor
+        self.block_keys = block_keys
+
+    # ------------------------------------------------------------------
+    # Functional path.
+    # ------------------------------------------------------------------
+
+    def join(self, probe_keys: np.ndarray) -> JoinResult:
+        """Exact join via per-partition hash tables (materialized R)."""
+        if not isinstance(self.relation.column, MaterializedColumn):
+            raise WorkloadError(
+                "the functional partitioned hash join materializes R and "
+                "therefore needs a materialized column"
+            )
+        probe_keys = np.asarray(probe_keys, dtype=KEY_DTYPE)
+        build = self.partitioner.partition(probe_keys)
+        r_keys = self.relation.column.keys
+        probe = self.partitioner.partition(r_keys)
+        probe_parts: List[np.ndarray] = []
+        build_parts: List[np.ndarray] = []
+        for partition in range(build.num_partitions):
+            build_slice = build.partition_slice(partition)
+            probe_slice = probe.partition_slice(partition)
+            build_keys = build.keys[build_slice]
+            if len(build_keys) == 0:
+                continue
+            table = MultiValueHashTable(
+                expected_keys=len(build_keys),
+                load_factor=self.load_factor,
+                block_keys=self.block_keys,
+            )
+            table.insert(build_keys, build.source_indices[build_slice])
+            local_probe, s_indices = table.lookup(probe.keys[probe_slice])
+            if len(local_probe) == 0:
+                continue
+            r_positions = probe.source_indices[probe_slice][local_probe]
+            probe_parts.append(s_indices)
+            build_parts.append(r_positions)
+        if probe_parts:
+            return JoinResult(
+                probe_indices=np.concatenate(probe_parts),
+                build_positions=np.concatenate(build_parts),
+            )
+        return JoinResult(
+            probe_indices=np.empty(0, dtype=np.int64),
+            build_positions=np.empty(0, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
+    # Simulated path.
+    # ------------------------------------------------------------------
+
+    def estimate(self, env: QueryEnvironment) -> QueryCost:
+        """Cost-model throughput of the partitioned hash join.
+
+        Stage 1 partitions S (as the hash join builds on the smaller
+        input).  Stage 2 partitions R: when the partitioned copy fits GPU
+        memory it stays there; otherwise it is written back to CPU memory
+        -- R crosses the interconnect twice before any joining happens,
+        the "additional memory equal to the input size" cost made visible.
+        Stage 3 joins co-partitions (same per-tuple work as the plain
+        hash join, minus chain excesses, plus table re-initialization).
+        """
+        constants = env.cost_model.constants
+        workload = env.workload
+        s_tuples = float(workload.s_tuples)
+        r_tuples = float(workload.r_tuples)
+        machine = env.machine
+
+        partition_s = machine.scan_counters(env.s_bytes)
+        partition_s.add(
+            self.partitioner.partition_counters(
+                s_tuples, tuple_bytes=_TUPLE_BYTES, passes=_PARTITION_PASSES
+            )
+        )
+        machine.memory.allocate(
+            int(s_tuples) * _TUPLE_BYTES, MemorySpace.DEVICE,
+            label="partitioned S",
+        )
+
+        r_copy_bytes = r_tuples * _TUPLE_BYTES
+        partition_r = machine.scan_counters(env.r_bytes)
+        fits_in_gpu = (
+            machine.memory.available(MemorySpace.DEVICE) >= r_copy_bytes
+        )
+        if fits_in_gpu:
+            machine.memory.allocate(
+                int(r_copy_bytes), MemorySpace.DEVICE, label="partitioned R"
+            )
+            partition_r.add(
+                self.partitioner.partition_counters(
+                    r_tuples, tuple_bytes=_TUPLE_BYTES,
+                    passes=_PARTITION_PASSES,
+                )
+            )
+        else:
+            machine.memory.allocate(
+                int(r_copy_bytes), MemorySpace.HOST, label="partitioned R"
+            )
+            # The scatter writes the partitioned copy back to CPU memory,
+            # and the second pass reads it in again: 2x extra R traffic
+            # on the interconnect on top of the initial read.
+            partition_r.add(machine.scan_counters(2.0 * r_copy_bytes))
+            partition_r.add(
+                self.partitioner.partition_counters(
+                    r_tuples, tuple_bytes=_TUPLE_BYTES, passes=1.0
+                )
+            )
+
+        join_stage = machine.scan_counters(
+            0.0 if fits_in_gpu else env.r_bytes * 2  # re-read R as tuples
+        )
+        join_stage.add(
+            machine.gpu_random_counters(
+                s_tuples * constants.hash_build_accesses
+                + r_tuples * constants.hash_probe_accesses,
+                bytes_per_access=constants.gpu_sector_bytes,
+            )
+        )
+        join_stage.add(machine.result_counters(env.result_bytes()))
+        join_stage.lookups = s_tuples
+        return env.cost_model.price_stages(
+            [
+                ("partition S", partition_s),
+                ("partition R", partition_r),
+                ("join", join_stage),
+            ]
+        )

@@ -1,0 +1,15 @@
+"""Radix partitioning of lookup keys (paper Section 4).
+
+Partitioning the probe keys gives neighbouring GPU threads keys that are
+close in R, so index traversals stay within the TLB's reach.
+:mod:`repro.partition.bits` picks *which* bits to partition on ("bits
+starting at the bit splitting the root node, down to the bit above the
+page size", Section 4.2); :mod:`repro.partition.radix` performs the
+partitioning and models its cost (the linear allocator-based software
+write-combining partitioner of Stehle & Jacobsen [46]).
+"""
+
+from .bits import PartitionBits, choose_partition_bits
+from .radix import RadixPartitioner
+
+__all__ = ["PartitionBits", "choose_partition_bits", "RadixPartitioner"]

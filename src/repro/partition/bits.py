@@ -1,0 +1,86 @@
+"""Choosing the radix bits to partition lookup keys on.
+
+Section 4.2 of the paper: two aspects determine the bits.  The most
+significant bits of the keys are identical (the data is smaller than the
+address space), so they carry no information; the least significant bits
+fall inside one memory page, so partitioning on them cannot improve page
+locality.  "Thus, we choose bits starting at the bit splitting the root
+node, down to the bit above the page size."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.column import Column
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PartitionBits:
+    """A radix-bit selection: partition id = (key >> shift) & mask.
+
+    Attributes:
+        shift: number of low bits skipped.
+        bits: number of radix bits used.
+        offset: subtracted from keys before shifting (domains rarely start
+            at zero).
+    """
+
+    shift: int
+    bits: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shift < 0:
+            raise ConfigurationError(f"shift must be non-negative: {self.shift}")
+        if self.bits < 1 or self.bits > 32:
+            raise ConfigurationError(f"bits must be in [1, 32]: {self.bits}")
+        if self.offset < 0:
+            raise ConfigurationError(f"offset must be non-negative: {self.offset}")
+
+    @property
+    def num_partitions(self) -> int:
+        return 1 << self.bits
+
+    def partition_of(self, keys: np.ndarray) -> np.ndarray:
+        """Partition id of each key (vectorized)."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        shifted = (keys - np.uint64(self.offset)) >> np.uint64(self.shift)
+        return (shifted & np.uint64(self.num_partitions - 1)).astype(np.int64)
+
+
+def choose_partition_bits(
+    column: Column,
+    num_partitions: int,
+    ignored_lsb: int = 0,
+) -> PartitionBits:
+    """Pick radix bits per the paper's rule for a given key column.
+
+    The highest useful bit is the one that splits the key domain (the
+    "root node" split); below it, ``log2(num_partitions)`` bits are taken,
+    but never below ``ignored_lsb`` (the paper ignores the 4 least
+    significant bits, Section 4.3.1: keys that close together always share
+    a page).
+    """
+    if num_partitions < 2 or num_partitions & (num_partitions - 1) != 0:
+        raise ConfigurationError(
+            f"num_partitions must be a power of two >= 2, got {num_partitions}"
+        )
+    if ignored_lsb < 0:
+        raise ConfigurationError(
+            f"ignored_lsb must be non-negative, got {ignored_lsb}"
+        )
+    bits = num_partitions.bit_length() - 1
+    min_key = column.min_key
+    max_key = column.max_key
+    span = max_key - min_key
+    if span <= 0:
+        raise ConfigurationError("key domain has zero span; nothing to partition")
+    span_bits = span.bit_length()  # bit index of the domain-splitting bit + 1
+    shift = max(ignored_lsb, span_bits - bits)
+    available = max(1, span_bits - shift)
+    bits = min(bits, available)
+    return PartitionBits(shift=shift, bits=bits, offset=min_key)

@@ -1,0 +1,144 @@
+"""Closed-form locality formulas for partition-ordered index lookups.
+
+Event-level simulation replays a *sample* of lookups; that is faithful for
+random-order streams (random accesses have no locality a sample could lose)
+but not for partition-ordered streams, whose benefit is precisely the
+locality between *adjacent* lookups (Section 4.2).  A sampled, partition-
+ordered stream is too sparse: sampled neighbours are thousands of keys
+apart, so page reuse that the real stream enjoys disappears.
+
+Instead, partitioned operators compute expected TLB misses analytically.
+The core quantity: a window of W partition-ordered lookups sweeps each
+index-array level once, front to back.  A page is entered at most once per
+sweep (the stream never moves backward), so misses per window equal the
+number of *distinct* pages touched, which for W uniform positions over P
+pages is the classic occupancy expectation ``P * (1 - (1 - 1/P)**W)``.
+
+Binary search needs extra care: its upper traversal steps ("mid tree"
+levels) jump across the whole array rather than sweeping, and the GPU L2
+absorbs the hottest of them before they can reach the TLB.  See
+:func:`midtree_sweep_pages`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def expected_distinct(samples: float, universe: float) -> float:
+    """Expected number of distinct values in ``samples`` uniform draws.
+
+    Standard occupancy formula ``U * (1 - (1 - 1/U)**s)``; computed in log
+    space to stay stable for the 1e10-scale inputs these models use.
+    """
+    if samples < 0:
+        raise ConfigurationError(f"samples must be non-negative, got {samples}")
+    if universe <= 0:
+        raise ConfigurationError(f"universe must be positive, got {universe}")
+    if samples == 0:
+        return 0.0
+    if universe == 1:
+        return min(1.0, samples)
+    # (1 - 1/U)**s == exp(s * log1p(-1/U))
+    log_term = samples * math.log1p(-1.0 / universe)
+    return universe * -math.expm1(log_term)
+
+
+def uniform_lru_misses(
+    accesses: float, pages: float, capacity: float
+) -> float:
+    """Expected LRU misses for uniform random page accesses.
+
+    For independent uniform accesses over ``pages`` pages and an LRU of
+    ``capacity`` entries, the steady-state hit probability is
+    ``min(1, capacity / pages)``; cold misses add the distinct pages
+    touched.  Used as a cross-check against the event simulator (tests
+    assert they agree for the naive INLJ).
+    """
+    if accesses < 0:
+        raise ConfigurationError(f"accesses must be non-negative, got {accesses}")
+    if pages <= 0 or capacity <= 0:
+        raise ConfigurationError(
+            f"pages and capacity must be positive, got {pages}/{capacity}"
+        )
+    if pages <= capacity:
+        return min(accesses, pages)
+    steady_miss_rate = 1.0 - capacity / pages
+    return accesses * steady_miss_rate
+
+
+def level_sweep_pages(
+    window_lookups: float,
+    span_bytes: float,
+    page_bytes: int,
+    accesses_per_lookup: float = 1.0,
+) -> float:
+    """Distinct pages touched when a window sweeps one array level.
+
+    ``span_bytes`` is the size of the array (an index level, or the data
+    column); each lookup touches ``accesses_per_lookup`` nearby positions
+    in it.  Nearby positions of one lookup share a page except at page
+    boundaries, so the access multiplier only matters when lookups are
+    sparse relative to pages.
+    """
+    if window_lookups < 0:
+        raise ConfigurationError(
+            f"window_lookups must be non-negative, got {window_lookups}"
+        )
+    if span_bytes < 0:
+        raise ConfigurationError(
+            f"span_bytes must be non-negative, got {span_bytes}"
+        )
+    if page_bytes <= 0:
+        raise ConfigurationError(f"page_bytes must be positive, got {page_bytes}")
+    if span_bytes == 0 or window_lookups == 0:
+        return 0.0
+    pages = max(1.0, span_bytes / page_bytes)
+    touches = window_lookups * max(1.0, accesses_per_lookup)
+    return min(expected_distinct(touches, pages), pages)
+
+
+def midtree_sweep_pages(
+    window_lookups: float,
+    span_bytes: float,
+    page_bytes: int,
+    l2_bytes: int,
+    cacheline_bytes: int,
+) -> float:
+    """Distinct pages reaching the TLB for a binary-search mid tree.
+
+    A binary search over a span of N keys visits, at step d, one of 2**d
+    possible "mid" positions.  For a window of W sorted lookups:
+
+    * steps whose cumulative distinct cachelines fit in the L2 are absorbed
+      by the cache and never reach the interconnect or the TLB;
+    * remaining sparse steps (mid spacing >= one page) touch
+      ``min(expected_distinct(W, 2**d), pages)`` distinct pages each;
+    * dense steps (mid spacing < one page) jointly sweep the data pages
+      once -- they move in lockstep with the final positions -- adding
+      ``pages`` in total, not per step.
+    """
+    if span_bytes <= 0 or window_lookups <= 0:
+        return 0.0
+    if page_bytes <= 0 or l2_bytes <= 0 or cacheline_bytes <= 0:
+        raise ConfigurationError(
+            "page_bytes, l2_bytes, and cacheline_bytes must be positive"
+        )
+    pages = max(1.0, span_bytes / page_bytes)
+    total_steps = max(1, math.ceil(math.log2(max(2.0, span_bytes / 8))))
+    l2_lines = l2_bytes / cacheline_bytes
+    # Steps absorbed by the L2: cumulative distinct mid-lines 2^0+..+2^d
+    # ~= 2^(d+1) must fit in the L2.
+    absorbed_steps = max(0, int(math.log2(max(1.0, l2_lines))) - 1)
+    # Steps whose mids are denser than one page sweep jointly.
+    dense_threshold = math.log2(max(2.0, span_bytes / page_bytes))
+    total = 0.0
+    for step in range(absorbed_steps, total_steps):
+        if step >= dense_threshold:
+            break
+        distinct_mids = expected_distinct(window_lookups, float(2**step))
+        total += min(distinct_mids, pages)
+    total += pages  # the joint dense sweep (includes the final accesses)
+    return min(total, total_steps * pages)

@@ -1,0 +1,151 @@
+"""CPU-only baseline cost model.
+
+The paper's motivation (Sections 1-2.1): fast interconnects let GPUs
+"scan tables on a level playing field with CPUs.  However, this does not
+lead to a speedup over CPUs in scan-intensive queries, as CPU memory
+bandwidth becomes the limiting factor."  The win the paper is after is
+*selective* queries, where an index join moves less data.
+
+This module prices the same joins executed by the CPU alone, so
+experiments can show all three regimes side by side:
+
+* CPU hash join -- memory-bandwidth bound, the incumbent;
+* GPU hash join -- scan capped by the same CPU memory, probe faster;
+* GPU windowed INLJ -- transfers less than either, wins at low
+  selectivity.
+
+The CPU model is deliberately coarse (a bandwidth/latency roofline, no
+NUMA or SMT detail): it exists as a *reference line*, not as a CPU
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.generator import WorkloadConfig
+from ..data.zipf import zipf_sum_p2
+from ..errors import ConfigurationError
+from ..hardware.spec import CpuSpec
+from ..units import KEY_BYTES
+from .model import QueryCost
+
+#: CPU cacheline granularity: a random 8-16 byte touch moves 64 bytes.
+CPU_CACHELINE_BYTES = 64.0
+
+#: Fraction of peak memory bandwidth sustained by dependent random
+#: accesses on a multicore CPU (pointer chasing with prefetch batches).
+CPU_RANDOM_EFFICIENCY = 0.35
+
+#: Memory accesses per hash-table operation (same structural costs as the
+#: GPU table: bucket fetch + value fetch / insert probe).
+CPU_HASH_BUILD_ACCESSES = 2.5
+CPU_HASH_PROBE_ACCESSES = 4.0
+
+#: Result pair width, matching the GPU operators.
+RESULT_PAIR_BYTES = 16.0
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Prices joins executed entirely on the host CPU."""
+
+    cpu: CpuSpec
+
+    def __post_init__(self) -> None:
+        if self.cpu.memory_bandwidth_bytes <= 0:
+            raise ConfigurationError("CPU spec must have memory bandwidth")
+
+    # ------------------------------------------------------------------
+    # Resource times.
+    # ------------------------------------------------------------------
+
+    def scan_time(self, num_bytes: float) -> float:
+        """Streaming read from CPU memory."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"bytes must be non-negative: {num_bytes}")
+        return num_bytes / self.cpu.memory_bandwidth_bytes
+
+    def random_time(self, num_accesses: float) -> float:
+        """Dependent random cacheline accesses to CPU memory."""
+        if num_accesses < 0:
+            raise ConfigurationError(
+                f"accesses must be non-negative: {num_accesses}"
+            )
+        bandwidth = self.cpu.memory_bandwidth_bytes * CPU_RANDOM_EFFICIENCY
+        return num_accesses * CPU_CACHELINE_BYTES / bandwidth
+
+    # ------------------------------------------------------------------
+    # Join estimates.
+    # ------------------------------------------------------------------
+
+    def hash_join(self, workload: WorkloadConfig) -> QueryCost:
+        """CPU hash join: build on S, scan-probe with R.
+
+        Roofline of the streaming component (read both inputs, write the
+        result) against the random component (table build + probe); the
+        same duplicate-chain model as the GPU baseline applies under skew.
+        """
+        s_tuples = float(workload.s_tuples)
+        r_tuples = float(workload.r_tuples)
+        if workload.zipf_theta > 0:
+            collision_mass = zipf_sum_p2(
+                workload.r_tuples, workload.zipf_theta
+            )
+        else:
+            collision_mass = 1.0 / r_tuples
+        sum_c2 = s_tuples + s_tuples * (s_tuples - 1.0) * collision_mass
+        capacity = 1.0
+        while capacity < s_tuples / 0.5:
+            capacity *= 2
+        duplicate_chain = max(0.0, (sum_c2 - s_tuples) / (2.0 * 512.0))
+        probe_excess = max(0.0, sum_c2 - s_tuples) / (2.0 * capacity)
+        stream_bytes = (
+            (r_tuples + s_tuples) * KEY_BYTES
+            + s_tuples * workload.match_rate * RESULT_PAIR_BYTES
+        )
+        random_accesses = (
+            s_tuples * CPU_HASH_BUILD_ACCESSES
+            + duplicate_chain
+            + r_tuples * (CPU_HASH_PROBE_ACCESSES + probe_excess)
+        )
+        seconds = max(
+            self.scan_time(stream_bytes), self.random_time(random_accesses)
+        )
+        return QueryCost(
+            seconds=seconds,
+            breakdown={
+                "stream": self.scan_time(stream_bytes),
+                "random": self.random_time(random_accesses),
+            },
+        )
+
+    def index_join(
+        self, workload: WorkloadConfig, accesses_per_lookup: float = 4.0
+    ) -> QueryCost:
+        """CPU INLJ over an in-memory index.
+
+        CPUs have no 32 GiB TLB wall (huge-page reach covers the machine),
+        so the INLJ is simply |S| lookups of a few dependent cacheline
+        accesses each -- the structure the GPU beats by sheer random-access
+        bandwidth once the interconnect allows it.
+        """
+        if accesses_per_lookup <= 0:
+            raise ConfigurationError(
+                f"accesses_per_lookup must be positive: {accesses_per_lookup}"
+            )
+        s_tuples = float(workload.s_tuples)
+        stream_bytes = (
+            s_tuples * KEY_BYTES
+            + s_tuples * workload.match_rate * RESULT_PAIR_BYTES
+        )
+        seconds = self.scan_time(stream_bytes) + self.random_time(
+            s_tuples * accesses_per_lookup
+        )
+        return QueryCost(
+            seconds=seconds,
+            breakdown={
+                "stream": self.scan_time(stream_bytes),
+                "random": self.random_time(s_tuples * accesses_per_lookup),
+            },
+        )

@@ -1,0 +1,97 @@
+"""Result formatting: text renditions of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label plus (x, y) points."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def append(self, x_value: float, y_value: float) -> None:
+        self.x.append(x_value)
+        self.y.append(y_value)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def as_dict(self) -> Dict[float, float]:
+        return dict(zip(self.x, self.y))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render a fixed-width text table (used for Table 1 and summaries)."""
+    if not headers:
+        raise ConfigurationError("a table needs at least one column")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series_list: Sequence[Series],
+    x_label: str,
+    y_format: str = "{:.3f}",
+    x_format: str = "{:.3g}",
+    title: str = "",
+) -> str:
+    """Render several series against a shared x axis, one column per series.
+
+    Missing points (a series without that x, e.g. the B+tree past its
+    capacity limit -- paper Section 3.2) render as ``-``.
+    """
+    if not series_list:
+        raise ConfigurationError("need at least one series")
+    xs: List[float] = []
+    for series in series_list:
+        for x_value in series.x:
+            if x_value not in xs:
+                xs.append(x_value)
+    xs.sort()
+    headers = [x_label] + [series.label for series in series_list]
+    lookup = [series.as_dict() for series in series_list]
+    rows = []
+    for x_value in xs:
+        row = [x_format.format(x_value)]
+        for mapping in lookup:
+            if x_value in mapping:
+                row.append(y_format.format(mapping[x_value]))
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,23 @@
+"""Workload studies beyond single read-only joins.
+
+The paper evaluates read-only joins and closes with operational guidance
+(Section 6): choose the RadixSpline for static data, Harmonia (or a
+B+tree) "if the index must support inserts and updates".  This package
+quantifies that guidance:
+
+* :mod:`repro.workloads.updates` -- batched-insert cost for each index
+  structure, functionally (merge-based inserts on real data) and under
+  the cost model (maintenance seconds per batch at paper scale).
+"""
+
+from .updates import (
+    UpdateCost,
+    functional_insert_throughput,
+    maintenance_cost,
+)
+
+__all__ = [
+    "UpdateCost",
+    "functional_insert_throughput",
+    "maintenance_cost",
+]

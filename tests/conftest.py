@@ -1,0 +1,55 @@
+"""Shared fixtures: small, fast workloads exercising every layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.data.column import MaterializedColumn, VirtualSortedColumn
+from repro.data.generator import WorkloadConfig, make_workload
+from repro.data.relation import Relation
+from repro.hardware.spec import V100_NVLINK2
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_workload():
+    """A small materialized workload: 2^14 build keys, 2^10 probes."""
+    config = WorkloadConfig(
+        r_tuples=2**14, s_tuples=2**10, match_rate=0.9, seed=11
+    )
+    relation, probes = make_workload(config, probe_count=2**10)
+    return config, relation, probes
+
+
+@pytest.fixture
+def small_relation(small_workload):
+    return small_workload[1]
+
+
+@pytest.fixture
+def small_probes(small_workload):
+    return small_workload[2]
+
+
+@pytest.fixture
+def virtual_relation():
+    """A paper-scale (16 GiB) virtual relation; nothing is materialized."""
+    column = VirtualSortedColumn(num_keys=2**31, stride=4, seed=5)
+    return Relation(name="R", column=column)
+
+
+@pytest.fixture
+def tiny_sim():
+    """Simulation config small enough for per-test event simulation."""
+    return SimulationConfig(probe_sample=2**10)
+
+
+@pytest.fixture
+def v100():
+    return V100_NVLINK2

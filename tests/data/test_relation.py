@@ -1,0 +1,51 @@
+"""Relations and their simulated placement."""
+
+import numpy as np
+import pytest
+
+from repro.data.column import MaterializedColumn
+from repro.data.relation import Relation
+from repro.errors import SimulationError
+from repro.hardware.memory import MemorySpace, SystemMemory
+from repro.hardware.spec import V100_NVLINK2
+from repro.units import KEY_BYTES
+
+
+@pytest.fixture
+def relation():
+    keys = np.arange(0, 400, 4, dtype=np.uint64)
+    return Relation(name="R", column=MaterializedColumn(keys))
+
+
+@pytest.fixture
+def memory():
+    return SystemMemory(V100_NVLINK2)
+
+
+class TestRelation:
+    def test_sizes(self, relation):
+        assert relation.num_tuples == 100
+        assert relation.nbytes == 100 * KEY_BYTES
+
+    def test_place_host(self, relation, memory):
+        allocation = relation.place(memory, MemorySpace.HOST)
+        assert allocation.size == relation.nbytes
+        assert relation.allocation is allocation
+
+    def test_double_place_rejected(self, relation, memory):
+        relation.place(memory, MemorySpace.HOST)
+        with pytest.raises(SimulationError):
+            relation.place(memory, MemorySpace.HOST)
+
+    def test_address_of(self, relation, memory):
+        relation.place(memory, MemorySpace.HOST)
+        addresses = relation.address_of(np.array([0, 10]))
+        assert addresses[0] == relation.allocation.base
+        assert addresses[1] == relation.allocation.base + 10 * KEY_BYTES
+
+    def test_address_requires_placement(self, relation):
+        with pytest.raises(SimulationError):
+            relation.address_of(np.array([0]))
+
+    def test_repr_mentions_name(self, relation):
+        assert "R" in repr(relation)

@@ -1,0 +1,195 @@
+"""Machine model: trace replay, coalescing, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.gpu.executor import LookupTrace, MachineModel
+from repro.hardware.spec import V100_NVLINK2
+
+
+@pytest.fixture
+def machine():
+    return MachineModel(V100_NVLINK2, SimulationConfig(probe_sample=2**10))
+
+
+def trace_from(matrix):
+    matrix = np.asarray(matrix, dtype=np.int64)
+    steps = (matrix >= 0).sum(axis=0).astype(np.int64)
+    return LookupTrace(step_addresses=matrix, steps_per_lookup=steps)
+
+
+class TestLookupTrace:
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            LookupTrace(
+                step_addresses=np.zeros(4, dtype=np.int64),
+                steps_per_lookup=np.zeros(4, dtype=np.int64),
+            )
+
+    def test_mismatched_steps(self):
+        with pytest.raises(SimulationError):
+            LookupTrace(
+                step_addresses=np.zeros((2, 4), dtype=np.int64),
+                steps_per_lookup=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_counts(self):
+        trace = trace_from([[0, 128, -1, 256]])
+        assert trace.num_lookups == 4
+        assert trace.num_steps == 1
+        assert trace.total_accesses == 3
+
+
+class TestCoalescing:
+    def test_same_line_within_warp_coalesces(self, machine):
+        # 32 lanes all reading the same cacheline -> one transaction.
+        matrix = np.zeros((1, 32), dtype=np.int64)
+        lines, issued = machine.coalesced_lines(trace_from(matrix))
+        assert issued == 32
+        assert len(lines) == 1
+
+    def test_distinct_lines_do_not_coalesce(self, machine):
+        matrix = (np.arange(32, dtype=np.int64) * 128).reshape(1, 32)
+        lines, issued = machine.coalesced_lines(trace_from(matrix))
+        assert issued == 32
+        assert len(lines) == 32
+
+    def test_coalescing_is_per_warp(self, machine):
+        # Two warps reading the same line still cost two transactions.
+        matrix = np.zeros((1, 64), dtype=np.int64)
+        lines, issued = machine.coalesced_lines(trace_from(matrix))
+        assert issued == 64
+        assert len(lines) == 2
+
+    def test_inactive_lanes_dropped(self, machine):
+        matrix = np.full((1, 32), -1, dtype=np.int64)
+        matrix[0, 0] = 128
+        lines, issued = machine.coalesced_lines(trace_from(matrix))
+        assert issued == 1
+        assert len(lines) == 1
+
+    def test_sub_line_offsets_share_a_transaction(self, machine):
+        # Addresses 0..31*8 fall in two 128-byte lines.
+        matrix = (np.arange(32, dtype=np.int64) * 8).reshape(1, 32)
+        lines, issued = machine.coalesced_lines(trace_from(matrix))
+        assert len(lines) == 2
+
+
+class TestSimulateLookups:
+    def test_counters_conserve_accesses(self, machine):
+        rng = np.random.default_rng(0)
+        matrix = rng.integers(0, 2**30, size=(4, 64)).astype(np.int64)
+        counters = machine.simulate_lookups(trace_from(matrix))
+        counters.validate()
+        assert counters.memory_accesses == 4 * 64
+        assert counters.lookups == 64
+
+    def test_repeat_access_hits_l2(self, machine):
+        matrix = np.array([[0], [0]], dtype=np.int64)
+        counters = machine.simulate_lookups(trace_from(matrix))
+        assert counters.l2_hits == 1
+        assert counters.remote_accesses == 1
+
+    def test_remote_bytes_are_cachelines(self, machine):
+        matrix = (np.arange(64, dtype=np.int64) * 4096).reshape(1, 64)
+        counters = machine.simulate_lookups(trace_from(matrix))
+        assert counters.remote_bytes == counters.remote_accesses * 128
+
+    def test_tlb_disabled(self, machine):
+        matrix = (np.arange(64, dtype=np.int64) * 2**21).reshape(1, 64)
+        counters = machine.simulate_lookups(
+            trace_from(matrix), simulate_tlb=False
+        )
+        assert counters.tlb_misses == 0
+        assert counters.remote_accesses > 0
+
+    def test_tlb_cold_misses_recorded(self, machine):
+        matrix = (np.arange(64, dtype=np.int64) * 2**21).reshape(1, 64)
+        counters = machine.simulate_lookups(trace_from(matrix))
+        assert counters.tlb_cold_misses == 64
+        assert counters.tlb_misses == 64
+
+    def test_shuffle_reproducible(self, machine):
+        rng = np.random.default_rng(1)
+        matrix = rng.integers(0, 2**34, size=(8, 512)).astype(np.int64)
+        first = machine.simulate_lookups(trace_from(matrix), shuffle=True)
+        machine.reset_hierarchy()
+        second = machine.simulate_lookups(trace_from(matrix), shuffle=True)
+        assert first.as_dict() == second.as_dict()
+
+    def test_empty_trace(self, machine):
+        matrix = np.full((2, 32), -1, dtype=np.int64)
+        counters = machine.simulate_lookups(trace_from(matrix))
+        assert counters.memory_accesses == 0
+
+
+class TestScaling:
+    def test_linear_counters_scale(self, machine):
+        rng = np.random.default_rng(2)
+        matrix = rng.integers(0, 2**34, size=(4, 64)).astype(np.int64)
+        raw = machine.simulate_lookups(trace_from(matrix))
+        scaled = machine.scale_lookup_counters(raw, 6400.0)
+        assert scaled.lookups == 6400
+        assert scaled.remote_accesses == pytest.approx(
+            raw.remote_accesses * 100
+        )
+
+    def test_cold_tlb_misses_do_not_scale(self, machine):
+        # All misses cold -> scaled misses stay at the cold count.
+        matrix = (np.arange(64, dtype=np.int64) * 2**21).reshape(1, 64)
+        raw = machine.simulate_lookups(trace_from(matrix))
+        assert raw.tlb_misses == raw.tlb_cold_misses
+        scaled = machine.scale_lookup_counters(raw, 64000.0)
+        assert scaled.tlb_misses == raw.tlb_cold_misses
+
+    def test_replay_factor_override(self, machine):
+        matrix = (np.arange(64, dtype=np.int64) * 2**21).reshape(1, 64)
+        raw = machine.simulate_lookups(trace_from(matrix))
+        scaled = machine.scale_lookup_counters(raw, 64.0, replay_factor=10.0)
+        assert scaled.translation_requests == pytest.approx(
+            scaled.tlb_misses * 10.0
+        )
+
+    def test_rejects_zero_lookups(self, machine):
+        from repro.hardware.counters import PerfCounters
+
+        with pytest.raises(SimulationError):
+            machine.scale_lookup_counters(PerfCounters(), 100.0)
+
+    def test_rejects_shrinking(self, machine):
+        matrix = np.zeros((1, 64), dtype=np.int64)
+        raw = machine.simulate_lookups(trace_from(matrix))
+        with pytest.raises(SimulationError):
+            machine.scale_lookup_counters(raw, 32.0)
+
+
+class TestCounterBuilders:
+    def test_scan(self, machine):
+        counters = machine.scan_counters(1000)
+        assert counters.scan_bytes == 1000
+        assert counters.remote_bytes == 1000
+
+    def test_gpu_random(self, machine):
+        counters = machine.gpu_random_counters(10, bytes_per_access=32)
+        assert counters.gpu_memory_accesses == 10
+        assert counters.gpu_memory_bytes == 320
+
+    def test_result(self, machine):
+        counters = machine.result_counters(512)
+        assert counters.result_bytes == 512
+
+    def test_analytic_tlb(self, machine):
+        counters = machine.analytic_tlb_counters(100, replay_factor=8.0)
+        assert counters.translation_requests == 800
+
+    def test_negative_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            machine.scan_counters(-1)
+        with pytest.raises(SimulationError):
+            machine.gpu_random_counters(-1)
+        with pytest.raises(SimulationError):
+            machine.result_counters(-1)
+        with pytest.raises(SimulationError):
+            machine.analytic_tlb_counters(-1)

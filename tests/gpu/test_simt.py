@@ -1,0 +1,126 @@
+"""SIMT execution accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gpu.simt import divergent_cost, subwarp_lookup_cost, warps_needed
+
+
+class TestWarpsNeeded:
+    def test_exact_multiple(self):
+        assert warps_needed(64, 32) == 2
+
+    def test_rounds_up(self):
+        assert warps_needed(33, 32) == 2
+
+    def test_zero_threads(self):
+        assert warps_needed(0, 32) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            warps_needed(-1, 32)
+
+    def test_rejects_zero_warp(self):
+        with pytest.raises(ConfigurationError):
+            warps_needed(10, 0)
+
+
+class TestDivergentCost:
+    def test_uniform_steps_no_divergence(self):
+        cost = divergent_cost(np.full(64, 10.0), warp_size=32)
+        assert cost.warp_instructions == 20
+        assert cost.divergence_replays == 0
+        assert cost.active_lane_fraction == 1.0
+
+    def test_single_slow_lane_stalls_warp(self):
+        steps = np.full(32, 1.0)
+        steps[0] = 100.0
+        cost = divergent_cost(steps, warp_size=32)
+        assert cost.warp_instructions == 100
+        assert cost.active_lane_fraction < 0.05
+
+    def test_partial_warp(self):
+        cost = divergent_cost(np.full(10, 5.0), warp_size=32)
+        assert cost.warp_instructions == 5
+
+    def test_empty(self):
+        cost = divergent_cost(np.empty(0), warp_size=32)
+        assert cost.warp_instructions == 0
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ConfigurationError):
+            divergent_cost(np.array([-1.0]), warp_size=32)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            divergent_cost(np.zeros((2, 2)), warp_size=32)
+
+
+class TestSubwarpCost:
+    def test_uniform_steps(self):
+        # 32 lookups of 8 steps, sub-warps of 8 lanes: each of the 4
+        # sub-warps serially processes its 8 lookups -> 64 instructions,
+        # warp max = 64.
+        cost = subwarp_lookup_cost(np.full(32, 8.0), 32, subwarp_size=8)
+        assert cost.warp_instructions == 64
+        assert cost.divergence_replays == 0
+
+    def test_sums_concentrate_vs_divergent(self):
+        """Harmonia's rationale: sub-warp sums diverge less than lanes."""
+        rng = np.random.default_rng(3)
+        steps = rng.integers(1, 20, size=320).astype(float)
+        divergent = divergent_cost(steps, 32)
+        cooperative = subwarp_lookup_cost(steps, 32, subwarp_size=8)
+        # Relative overhead above the ideal is smaller for sub-warps.
+        divergent_overhead = divergent.divergence_replays / max(
+            1.0, divergent.warp_instructions
+        )
+        cooperative_overhead = cooperative.divergence_replays / max(
+            1.0, cooperative.warp_instructions
+        )
+        assert cooperative_overhead < divergent_overhead
+
+    def test_rejects_bad_subwarp(self):
+        with pytest.raises(ConfigurationError):
+            subwarp_lookup_cost(np.ones(4), 32, subwarp_size=5)
+
+    def test_empty(self):
+        cost = subwarp_lookup_cost(np.empty(0), 32, subwarp_size=8)
+        assert cost.warp_instructions == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            subwarp_lookup_cost(np.array([-1.0]), 32, subwarp_size=8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    steps=st.lists(
+        st.floats(min_value=0, max_value=100), min_size=1, max_size=200
+    )
+)
+def test_divergent_bounds(steps):
+    """Warp instructions bounded between ideal and per-lookup serial."""
+    array = np.asarray(steps)
+    cost = divergent_cost(array, warp_size=32)
+    ideal = array.sum() / 32
+    assert cost.warp_instructions >= ideal - 1e-9
+    assert cost.warp_instructions <= array.sum() + 1e-9
+    assert 0 <= cost.active_lane_fraction <= 1.0 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    steps=st.lists(
+        st.floats(min_value=0, max_value=100), min_size=1, max_size=200
+    ),
+    subwarp=st.sampled_from([1, 2, 4, 8, 16, 32]),
+)
+def test_subwarp_bounds(steps, subwarp):
+    array = np.asarray(steps)
+    cost = subwarp_lookup_cost(array, 32, subwarp_size=subwarp)
+    ideal = array.sum() / (32 // subwarp)
+    assert cost.warp_instructions >= ideal - 1e-9
+    assert cost.warp_instructions <= array.sum() + 1e-9

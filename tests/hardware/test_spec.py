@@ -1,0 +1,170 @@
+"""Hardware specifications and machine presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.spec import (
+    A100_PCIE4,
+    CpuSpec,
+    GH200_C2C,
+    GpuSpec,
+    InterconnectSpec,
+    MI250X_IF3,
+    NVLINK2,
+    NVLINK_C2C,
+    PCIE4,
+    PCIE5,
+    INFINITY_FABRIC3,
+    SystemSpec,
+    TABLE1_INTERCONNECTS,
+    V100_NVLINK2,
+)
+from repro.units import GB, GIB, MIB
+
+
+class TestTable1Values:
+    """The paper's Table 1 bandwidths, verbatim."""
+
+    @pytest.mark.parametrize(
+        "spec,gbps",
+        [
+            (PCIE4, 32),
+            (PCIE5, 64),
+            (INFINITY_FABRIC3, 72),
+            (NVLINK2, 75),
+            (NVLINK_C2C, 450),
+        ],
+    )
+    def test_bandwidth(self, spec, gbps):
+        assert spec.bandwidth_bytes == gbps * GB
+
+    def test_table_has_five_rows(self):
+        assert len(TABLE1_INTERCONNECTS) == 5
+
+    def test_table_order_matches_paper(self):
+        names = [link.name for __, link in TABLE1_INTERCONNECTS]
+        assert names == [
+            "PCI-e 4.0",
+            "PCI-e 5.0",
+            "Infinity Fabric 3",
+            "NVLink 2.0",
+            "NVLink C2C",
+        ]
+
+
+class TestV100Preset:
+    """The paper's primary testbed (Section 3.2)."""
+
+    def test_tlb_range_is_32_gib(self):
+        # Lutz et al. [30]: the V100 TLB maps a 32 GiB range.
+        assert V100_NVLINK2.gpu.tlb_range_bytes == 32 * GIB
+
+    def test_huge_pages(self):
+        assert V100_NVLINK2.huge_page_bytes == 1 * GIB
+
+    def test_cpu_memory_capacity(self):
+        assert V100_NVLINK2.cpu.memory_capacity_bytes == 256 * GIB
+
+    def test_tlb_entries(self):
+        expected = 32 * GIB // V100_NVLINK2.gpu.tlb_entry_bytes
+        assert V100_NVLINK2.tlb_entries == expected
+
+    def test_resident_threads(self):
+        assert V100_NVLINK2.gpu.max_resident_threads == 80 * 2048
+
+    def test_resident_warps(self):
+        assert V100_NVLINK2.gpu.max_resident_warps == 80 * 64
+
+    def test_nvlink_random_bandwidth_exceeds_pcie(self):
+        nvlink_random = (
+            NVLINK2.bandwidth_bytes * NVLINK2.random_efficiency
+        )
+        pcie_random = PCIE4.bandwidth_bytes * PCIE4.random_efficiency
+        assert nvlink_random > 2 * pcie_random
+
+
+class TestA100Preset:
+    def test_interconnect_is_pcie4(self):
+        assert A100_PCIE4.interconnect is PCIE4
+
+    def test_faster_gpu_memory_than_v100(self):
+        assert (
+            A100_PCIE4.gpu.memory_bandwidth_bytes
+            > V100_NVLINK2.gpu.memory_bandwidth_bytes
+        )
+
+    def test_larger_l2_than_v100(self):
+        assert A100_PCIE4.gpu.l2_bytes > V100_NVLINK2.gpu.l2_bytes
+
+
+class TestOtherPresets:
+    def test_gh200_uses_c2c(self):
+        assert GH200_C2C.interconnect is NVLINK_C2C
+
+    def test_mi250x_uses_infinity_fabric(self):
+        assert MI250X_IF3.interconnect is INFINITY_FABRIC3
+
+
+class TestValidation:
+    def test_interconnect_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec(
+                name="x", bandwidth_bytes=0, latency_seconds=1e-6,
+                random_efficiency=0.5,
+            )
+
+    def test_interconnect_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec(
+                name="x", bandwidth_bytes=1, latency_seconds=1e-6,
+                random_efficiency=1.5,
+            )
+
+    def test_interconnect_rejects_zero_latency(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec(
+                name="x", bandwidth_bytes=1, latency_seconds=0,
+                random_efficiency=0.5,
+            )
+
+    def test_gpu_rejects_negative_field(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec(
+                name="bad", sm_count=0, threads_per_sm=2048, warp_size=32,
+                clock_hz=1e9, memory_bandwidth_bytes=1, memory_capacity_bytes=1,
+                memory_random_efficiency=0.5, l2_bytes=1, l1_bytes=1,
+                cacheline_bytes=128, tlb_range_bytes=GIB,
+                tlb_entry_bytes=2 * MIB, tlb_replay_factor=3.0,
+            )
+
+    def test_gpu_rejects_misaligned_tlb_granule(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec(
+                name="bad", sm_count=1, threads_per_sm=2048, warp_size=32,
+                clock_hz=1e9, memory_bandwidth_bytes=1, memory_capacity_bytes=1,
+                memory_random_efficiency=0.5, l2_bytes=1, l1_bytes=1,
+                cacheline_bytes=128, tlb_range_bytes=GIB,
+                tlb_entry_bytes=3 * MIB, tlb_replay_factor=3.0,
+            )
+
+    def test_cpu_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(
+                name="bad", core_count=0, clock_hz=1e9,
+                memory_bandwidth_bytes=1, memory_capacity_bytes=1,
+            )
+
+    def test_system_rejects_non_power_of_two_pages(self):
+        with pytest.raises(ConfigurationError):
+            SystemSpec(
+                name="bad",
+                cpu=V100_NVLINK2.cpu,
+                gpu=V100_NVLINK2.gpu,
+                interconnect=NVLINK2,
+                huge_page_bytes=3 * MIB,
+            )
+
+    def test_with_huge_pages(self):
+        derived = V100_NVLINK2.with_huge_pages(2 * MIB)
+        assert derived.huge_page_bytes == 2 * MIB
+        assert derived.gpu is V100_NVLINK2.gpu

@@ -1,0 +1,136 @@
+"""GPU TLB simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.tlb import AnalyticTlb, LruTlb, make_tlb, pages_for
+
+
+class TestLruTlb:
+    def test_cold_miss_then_hit(self):
+        tlb = LruTlb(entries=4)
+        assert tlb.access(1) is False
+        assert tlb.access(1) is True
+        assert tlb.misses == 1 and tlb.hits == 1
+
+    def test_cold_misses_tracked(self):
+        tlb = LruTlb(entries=2)
+        tlb.access_sequence([1, 2, 3, 1, 2, 3])
+        # Three distinct pages -> 3 cold; capacity 2 -> the revisits also
+        # miss (cyclic eviction), but they are not cold.
+        assert tlb.cold_misses == 3
+        assert tlb.misses == 6
+
+    def test_lru_eviction_order(self):
+        tlb = LruTlb(entries=2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)  # refresh 1; 2 becomes LRU
+        tlb.access(3)  # evicts 2
+        assert tlb.access(1) is True
+        assert tlb.access(2) is False
+
+    def test_working_set_within_capacity_never_thrashes(self):
+        tlb = LruTlb(entries=8)
+        sequence = [i % 8 for i in range(1000)]
+        misses = tlb.access_sequence(sequence)
+        assert misses == 8  # cold only
+
+    def test_cyclic_thrash(self):
+        # The classic LRU worst case: cycling over capacity + 1 pages.
+        tlb = LruTlb(entries=4)
+        sequence = [i % 5 for i in range(500)]
+        tlb.access_sequence(sequence)
+        assert tlb.miss_rate == 1.0
+
+    def test_reset(self):
+        tlb = LruTlb(entries=2)
+        tlb.access_sequence([1, 2, 3])
+        tlb.reset()
+        assert tlb.hits == 0 and tlb.misses == 0 and tlb.cold_misses == 0
+        assert tlb.access(1) is False
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            LruTlb(entries=0)
+
+    def test_miss_rate_empty(self):
+        assert LruTlb(entries=1).miss_rate == 0.0
+
+
+class TestAnalyticTlb:
+    def test_fitting_pages_cold_only(self):
+        tlb = AnalyticTlb(entries=100)
+        misses = tlb.access_uniform(num_accesses=10_000, num_pages=50)
+        assert misses == 50
+
+    def test_steady_state_rate(self):
+        tlb = AnalyticTlb(entries=100)
+        tlb.access_uniform(num_accesses=100_000, num_pages=400)
+        assert tlb.miss_rate == pytest.approx(0.75, rel=0.01)
+
+    def test_agrees_with_exact_lru_for_uniform_access(self, rng):
+        """The closed form must track the event simulator (DESIGN.md S5)."""
+        pages, entries, accesses = 300, 64, 60_000
+        exact = LruTlb(entries=entries)
+        exact.access_sequence(rng.integers(0, pages, accesses).tolist())
+        analytic = AnalyticTlb(entries=entries)
+        analytic.access_uniform(accesses, pages)
+        assert exact.miss_rate == pytest.approx(analytic.miss_rate, rel=0.05)
+
+    def test_rejects_bad_inputs(self):
+        tlb = AnalyticTlb(entries=4)
+        with pytest.raises(ConfigurationError):
+            tlb.access_uniform(-1, 10)
+        with pytest.raises(ConfigurationError):
+            tlb.access_uniform(10, 0)
+
+    def test_reset(self):
+        tlb = AnalyticTlb(entries=4)
+        tlb.access_uniform(100, 10)
+        tlb.reset()
+        assert tlb.hits == 0 and tlb.misses == 0
+
+
+class TestMakeTlb:
+    def test_exact(self):
+        assert isinstance(make_tlb(4, exact=True), LruTlb)
+
+    def test_analytic(self):
+        assert isinstance(make_tlb(4, exact=False), AnalyticTlb)
+
+
+class TestPagesFor:
+    def test_shift(self):
+        addresses = np.array([0, 4095, 4096, 8191], dtype=np.int64)
+        assert pages_for(addresses, 4096).tolist() == [0, 0, 1, 1]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            pages_for(np.array([0]), 3000)
+
+    def test_large_addresses_exact(self):
+        address = np.array([2**60 + 4096], dtype=np.int64)
+        assert pages_for(address, 4096)[0] == 2**48 + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    entries=st.integers(min_value=1, max_value=64),
+    pages=st.integers(min_value=1, max_value=128),
+    length=st.integers(min_value=1, max_value=500),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_lru_invariants(entries, pages, length, seed):
+    """Misses bounded by accesses; cold misses bounded by distinct pages."""
+    rng = np.random.default_rng(seed)
+    sequence = rng.integers(0, pages, length).tolist()
+    tlb = LruTlb(entries=entries)
+    tlb.access_sequence(sequence)
+    assert tlb.hits + tlb.misses == length
+    assert tlb.cold_misses == len(set(sequence))
+    assert tlb.misses >= tlb.cold_misses
+    if pages <= entries:
+        assert tlb.misses == tlb.cold_misses

@@ -1,0 +1,97 @@
+"""Binary search index specifics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.column import VirtualSortedColumn
+from repro.data.relation import Relation
+from repro.errors import SimulationError
+from repro.hardware.memory import MemorySpace, SystemMemory
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes.binary_search import BinarySearchIndex
+
+
+class TestStructure:
+    def test_no_footprint(self, small_relation):
+        assert BinarySearchIndex(small_relation).footprint_bytes == 0
+
+    def test_height_is_log2(self):
+        relation = Relation("R", VirtualSortedColumn(2**20))
+        index = BinarySearchIndex(relation)
+        assert index.height == 21  # ceil(log2(2^20 + 1))
+
+    def test_place_requires_relation_placement(self, small_relation):
+        index = BinarySearchIndex(small_relation)
+        with pytest.raises(SimulationError):
+            index.place(SystemMemory(V100_NVLINK2))
+
+
+class TestTraceShape:
+    def test_step_count_close_to_log(self, small_relation, small_probes):
+        memory = SystemMemory(V100_NVLINK2)
+        small_relation.place(memory, MemorySpace.HOST)
+        index = BinarySearchIndex(small_relation)
+        index.place(memory)
+        result = index.trace_lookups(small_probes.keys)
+        expected = math.ceil(math.log2(small_relation.num_tuples + 1))
+        # +1 for the final verification read.
+        assert result.trace.num_steps <= expected + 2
+        assert result.trace.num_steps >= expected
+
+    def test_first_step_is_shared_mid(self, small_relation, small_probes):
+        """All lookups start at the same mid -- the root of the mid tree."""
+        memory = SystemMemory(V100_NVLINK2)
+        small_relation.place(memory, MemorySpace.HOST)
+        index = BinarySearchIndex(small_relation)
+        index.place(memory)
+        result = index.trace_lookups(small_probes.keys)
+        first_step = result.trace.step_addresses[0]
+        assert len(np.unique(first_step)) == 1
+
+    def test_addresses_stay_inside_relation(
+        self, small_relation, small_probes
+    ):
+        memory = SystemMemory(V100_NVLINK2)
+        small_relation.place(memory, MemorySpace.HOST)
+        index = BinarySearchIndex(small_relation)
+        index.place(memory)
+        result = index.trace_lookups(small_probes.keys)
+        addresses = result.trace.step_addresses
+        active = addresses[addresses >= 0]
+        assert active.min() >= small_relation.allocation.base
+        assert active.max() < small_relation.allocation.end
+
+
+class TestSweepPages:
+    def test_scales_with_relation(self):
+        small = BinarySearchIndex(Relation("R", VirtualSortedColumn(2**24)))
+        large = BinarySearchIndex(Relation("R", VirtualSortedColumn(2**30)))
+        kwargs = dict(
+            window_lookups=2**22,
+            page_bytes=2**21,
+            l2_bytes=6 * 2**20,
+            cacheline_bytes=128,
+        )
+        assert large.expected_sweep_pages(**kwargs) > small.expected_sweep_pages(
+            **kwargs
+        )
+
+    def test_residual_higher_than_tree_indexes(self):
+        """The paper's Fig. 6: at large R (where its sparse mid levels no
+        longer fit the L2), binary search keeps the largest residual."""
+        from repro.indexes.harmonia import HarmoniaIndex
+
+        relation = Relation("R", VirtualSortedColumn(2**34))
+        kwargs = dict(
+            window_lookups=2**22,
+            page_bytes=2**21,
+            l2_bytes=6 * 2**20,
+            cacheline_bytes=128,
+        )
+        binary = BinarySearchIndex(relation)
+        harmonia = HarmoniaIndex(relation)
+        assert binary.expected_sweep_pages(
+            **kwargs
+        ) > harmonia.expected_sweep_pages(**kwargs)

@@ -1,0 +1,147 @@
+"""FAST-style Eytzinger tree specifics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.column import MaterializedColumn, VirtualSortedColumn
+from repro.data.relation import Relation
+from repro.errors import SimulationError
+from repro.hardware.memory import MemorySpace, SystemMemory
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes.fast_tree import FastTreeIndex
+
+
+class TestStructure:
+    def test_height_is_log2(self):
+        # A height-h complete tree holds 2^h - 1 keys; 2^20 keys need 21.
+        index = FastTreeIndex(Relation("R", VirtualSortedColumn(2**20)))
+        assert index.height == 21
+        exact = FastTreeIndex(Relation("R", VirtualSortedColumn(2**20 - 1)))
+        assert exact.height == 20
+
+    def test_padded_to_complete_tree(self):
+        index = FastTreeIndex(Relation("R", VirtualSortedColumn(1000)))
+        assert index.padded_slots == 1023
+
+    def test_footprint_is_padded_copy(self):
+        index = FastTreeIndex(Relation("R", VirtualSortedColumn(1000)))
+        assert index.footprint_bytes == 1023 * 8
+
+    def test_place_requires_relation(self):
+        index = FastTreeIndex(Relation("R", VirtualSortedColumn(16)))
+        with pytest.raises(SimulationError):
+            index.place(SystemMemory(V100_NVLINK2))
+
+
+class TestBfsMapping:
+    def test_small_complete_tree(self):
+        # 7 keys, height 3: BFS slot 1 holds rank 3 (the median).
+        index = FastTreeIndex(Relation("R", VirtualSortedColumn(7)))
+        slots = np.array([1, 2, 3, 4, 5, 6, 7])
+        ranks = index._ranks_of_slots(slots)
+        assert ranks.tolist() == [3, 1, 5, 0, 2, 4, 6]
+
+    def test_padding_reads_as_max(self):
+        index = FastTreeIndex(Relation("R", VirtualSortedColumn(5)))
+        # Slots whose rank >= 5 are padding.
+        keys = index._keys_of_slots(np.array([1, 7]))
+        assert keys[1] == np.uint64(2**64 - 1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 511, 512, 513, 4096])
+    def test_all_members_found(self, n):
+        column = VirtualSortedColumn(n, stride=4, seed=n)
+        index = FastTreeIndex(Relation("R", column))
+        positions = np.arange(n, dtype=np.int64)
+        keys = column.key_at(positions)
+        assert np.array_equal(index.lookup(keys), positions)
+
+    def test_misses(self):
+        column = VirtualSortedColumn(1000, stride=4, seed=1)
+        index = FastTreeIndex(Relation("R", column))
+        misses = column.key_at(np.arange(100)) + np.uint64(1)
+        assert np.all(index.lookup(misses) == -1)
+
+    def test_out_of_domain(self):
+        column = VirtualSortedColumn(100, stride=4, offset=1000)
+        index = FastTreeIndex(Relation("R", column))
+        probes = np.array([0, 10**9], dtype=np.uint64)
+        assert index.lookup(probes).tolist() == [-1, -1]
+
+    def test_agrees_with_binary_search(self, small_relation, small_probes):
+        from repro.indexes.binary_search import BinarySearchIndex
+
+        fast = FastTreeIndex(small_relation)
+        binary = BinarySearchIndex(small_relation)
+        assert np.array_equal(
+            fast.lookup(small_probes.keys), binary.lookup(small_probes.keys)
+        )
+
+
+class TestTrace:
+    def test_trace_matches_functional(self, small_relation, small_probes):
+        memory = SystemMemory(V100_NVLINK2)
+        small_relation.place(memory, MemorySpace.HOST)
+        index = FastTreeIndex(small_relation)
+        index.place(memory)
+        result = index.trace_lookups(small_probes.keys)
+        assert np.array_equal(
+            result.positions, index.lookup(small_probes.keys)
+        )
+
+    def test_steps_equal_height_plus_verify(self, small_relation, small_probes):
+        memory = SystemMemory(V100_NVLINK2)
+        small_relation.place(memory, MemorySpace.HOST)
+        index = FastTreeIndex(small_relation)
+        index.place(memory)
+        result = index.trace_lookups(small_probes.keys)
+        assert result.trace.num_steps == index.height + 1
+
+    def test_upper_levels_share_lines(self, small_relation, small_probes):
+        """The BFS layout's point: the first levels live in one cacheline."""
+        memory = SystemMemory(V100_NVLINK2)
+        small_relation.place(memory, MemorySpace.HOST)
+        index = FastTreeIndex(small_relation)
+        index.place(memory)
+        result = index.trace_lookups(small_probes.keys)
+        first_four_levels = result.trace.step_addresses[:4]
+        lines = np.unique(first_four_levels >> 7)
+        assert len(lines) == 1
+
+
+class TestSweepPages:
+    def test_comparable_to_binary_search(self):
+        """At huge-page granularity the BFS layout's contiguity buys
+        little (each deep level still spans many pages); the sweep count
+        must land in the same band as plain binary search -- FAST's real
+        advantage is at cacheline/L2 granularity, tested above."""
+        from repro.indexes.binary_search import BinarySearchIndex
+
+        relation = Relation("R", VirtualSortedColumn(2**34))
+        kwargs = dict(
+            window_lookups=2**22,
+            page_bytes=2**21,
+            l2_bytes=6 * 2**20,
+            cacheline_bytes=128,
+        )
+        fast = FastTreeIndex(relation).expected_sweep_pages(**kwargs)
+        binary = BinarySearchIndex(relation).expected_sweep_pages(**kwargs)
+        assert 0.3 < fast / binary < 3.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=3000),
+    seed=st.integers(min_value=0, max_value=2**31),
+    probes=st.integers(min_value=1, max_value=100),
+)
+def test_fast_tree_equals_rank(n, seed, probes):
+    column = VirtualSortedColumn(n, stride=4, seed=seed)
+    index = FastTreeIndex(Relation("R", column))
+    rng = np.random.default_rng(seed)
+    positions = rng.integers(0, n, size=probes)
+    keys = column.key_at(positions)
+    keys[::2] = keys[::2] + np.uint64(1)  # mix in misses
+    assert np.array_equal(index.lookup(keys), column.rank_of(keys))

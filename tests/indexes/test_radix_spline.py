@@ -1,0 +1,184 @@
+"""RadixSpline specifics, including the GreedySplineCorridor builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.column import MaterializedColumn, VirtualSortedColumn
+from repro.data.relation import Relation
+from repro.errors import ConfigurationError
+from repro.indexes.radix_spline import (
+    RadixSplineIndex,
+    greedy_spline_corridor,
+    uniform_spline,
+)
+
+
+def interpolation_error(keys, point_keys, point_positions):
+    """Max |predicted - true| of linear interpolation between points."""
+    positions = np.arange(len(keys), dtype=np.float64)
+    segment = np.clip(
+        np.searchsorted(point_keys, keys, side="right") - 1,
+        0,
+        len(point_keys) - 2,
+    )
+    key_low = point_keys[segment].astype(np.float64)
+    key_high = point_keys[segment + 1].astype(np.float64)
+    pos_low = point_positions[segment].astype(np.float64)
+    pos_high = point_positions[segment + 1].astype(np.float64)
+    span = np.maximum(key_high - key_low, 1.0)
+    predicted = pos_low + (keys.astype(np.float64) - key_low) / span * (
+        pos_high - pos_low
+    )
+    return float(np.abs(predicted - positions).max())
+
+
+class TestGreedySplineCorridor:
+    def test_linear_data_needs_two_points(self):
+        keys = np.arange(0, 8000, 8, dtype=np.uint64)
+        point_keys, point_positions = greedy_spline_corridor(keys, max_error=4)
+        assert len(point_keys) == 2
+        assert point_positions[0] == 0
+        assert point_positions[-1] == len(keys) - 1
+
+    def test_error_stays_near_bound(self, rng):
+        """The greedy chord can exceed the corridor at interior points
+        (see measure_spline_error), but only by a small constant factor."""
+        gaps = rng.integers(1, 100, size=5000).astype(np.uint64)
+        keys = np.cumsum(gaps).astype(np.uint64)
+        for max_error in (2, 8, 32):
+            point_keys, point_positions = greedy_spline_corridor(
+                keys, max_error=max_error
+            )
+            assert interpolation_error(
+                keys, point_keys, point_positions
+            ) <= 3 * max_error + 1
+
+    def test_larger_error_fewer_points(self, rng):
+        gaps = rng.integers(1, 100, size=5000).astype(np.uint64)
+        keys = np.cumsum(gaps).astype(np.uint64)
+        tight = greedy_spline_corridor(keys, max_error=2)[0]
+        loose = greedy_spline_corridor(keys, max_error=64)[0]
+        assert len(loose) <= len(tight)
+
+    def test_endpoints_included(self, rng):
+        gaps = rng.integers(1, 50, size=1000).astype(np.uint64)
+        keys = np.cumsum(gaps).astype(np.uint64)
+        point_keys, point_positions = greedy_spline_corridor(keys, max_error=8)
+        assert point_keys[0] == keys[0] and point_keys[-1] == keys[-1]
+        assert point_positions[0] == 0 and point_positions[-1] == len(keys) - 1
+
+    def test_tiny_inputs(self):
+        for n in (1, 2):
+            keys = np.arange(n, dtype=np.uint64) * 10
+            point_keys, point_positions = greedy_spline_corridor(keys, 4)
+            assert len(point_keys) == n
+
+    def test_rejects_bad_error(self):
+        with pytest.raises(ConfigurationError):
+            greedy_spline_corridor(np.array([1, 2], dtype=np.uint64), 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            greedy_spline_corridor(np.array([], dtype=np.uint64), 4)
+
+
+class TestUniformSpline:
+    def test_virtual_column_error_is_one(self):
+        column = VirtualSortedColumn(2**16, stride=4)
+        __, __, error = uniform_spline(column, interval=1024)
+        assert error == 1
+
+    def test_materialized_error_measured(self, rng):
+        gaps = rng.integers(1, 100, size=4096).astype(np.uint64)
+        column = MaterializedColumn(np.cumsum(gaps).astype(np.uint64))
+        keys, positions, error = uniform_spline(column, interval=256)
+        assert interpolation_error(column.keys, keys, positions) <= error
+
+    def test_last_position_included(self):
+        column = VirtualSortedColumn(1000, stride=4)
+        __, positions, __ = uniform_spline(column, interval=300)
+        assert positions[-1] == 999
+
+    def test_rejects_tiny_interval(self):
+        column = VirtualSortedColumn(100)
+        with pytest.raises(ConfigurationError):
+            uniform_spline(column, interval=1)
+
+
+class TestRadixSplineIndex:
+    def test_auto_fit_greedy_for_materialized(self, small_relation):
+        index = RadixSplineIndex(small_relation)
+        assert index.fit == "greedy"
+
+    def test_auto_fit_uniform_for_virtual(self, virtual_relation):
+        index = RadixSplineIndex(virtual_relation)
+        assert index.fit == "uniform"
+
+    def test_greedy_rejected_on_virtual(self, virtual_relation):
+        with pytest.raises(ConfigurationError):
+            RadixSplineIndex(virtual_relation, fit="greedy")
+
+    def test_spline_density_is_realistic(self, virtual_relation):
+        """Virtual columns must not get an unrealistically sparse spline
+        (DESIGN.md: interval defaults to max_error**2)."""
+        index = RadixSplineIndex(virtual_relation, max_error=32)
+        expected_points = len(virtual_relation.column) / 32**2
+        assert index.num_spline_points == pytest.approx(expected_points, rel=0.01)
+
+    def test_footprint_includes_table_and_points(self, small_relation):
+        index = RadixSplineIndex(small_relation)
+        assert index.footprint_bytes >= len(index.radix_table) * 8
+
+    def test_radix_table_bounded(self, virtual_relation):
+        index = RadixSplineIndex(virtual_relation, radix_bits=18)
+        assert len(index.radix_table) <= 2**18 + 2
+
+    def test_radix_table_monotone(self, small_relation):
+        index = RadixSplineIndex(small_relation)
+        table = index.radix_table
+        assert np.all(np.diff(table) >= 0)
+
+    def test_max_error_controls_search_window(self, small_relation):
+        tight = RadixSplineIndex(small_relation, max_error=2)
+        loose = RadixSplineIndex(small_relation, max_error=64)
+        assert tight.error_bound <= loose.error_bound
+
+    def test_rejects_bad_radix_bits(self, small_relation):
+        with pytest.raises(ConfigurationError):
+            RadixSplineIndex(small_relation, radix_bits=0)
+        with pytest.raises(ConfigurationError):
+            RadixSplineIndex(small_relation, radix_bits=40)
+
+    def test_rejects_bad_fit(self, small_relation):
+        with pytest.raises(ConfigurationError):
+            RadixSplineIndex(small_relation, fit="magic")
+
+    def test_rejects_bad_max_error(self, small_relation):
+        with pytest.raises(ConfigurationError):
+            RadixSplineIndex(small_relation, max_error=0)
+
+    def test_static_only(self):
+        assert RadixSplineIndex.supports_updates is False
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(min_value=3, max_value=2000),
+    max_error=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_greedy_corridor_property(size, max_error, seed):
+    """Knots are a data subsequence and the index's measured bound is a
+    true bound on the interpolation error, for arbitrary sorted data."""
+    from repro.indexes.radix_spline import measure_spline_error
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.integers(1, 1000, size=size).astype(np.uint64)
+    keys = np.cumsum(gaps).astype(np.uint64)
+    point_keys, point_positions = greedy_spline_corridor(keys, max_error)
+    measured = measure_spline_error(keys, point_keys, point_positions)
+    assert interpolation_error(keys, point_keys, point_positions) <= measured
+    # Spline points are a subsequence of the data.
+    assert np.all(np.isin(point_keys, keys))
+    assert point_positions[0] == 0 and point_positions[-1] == size - 1

@@ -1,0 +1,115 @@
+"""Join plumbing: results, reference join, environment."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.data.generator import WorkloadConfig
+from repro.errors import CapacityError, WorkloadError
+from repro.hardware.memory import MemorySpace
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes import BPlusTreeIndex, RadixSplineIndex
+from repro.join.base import JoinResult, QueryEnvironment, reference_join
+from repro.units import GIB
+
+
+class TestJoinResult:
+    def test_equality_ignores_order(self):
+        a = JoinResult(
+            probe_indices=np.array([2, 0, 1]),
+            build_positions=np.array([20, 0, 10]),
+        )
+        b = JoinResult(
+            probe_indices=np.array([0, 1, 2]),
+            build_positions=np.array([0, 10, 20]),
+        )
+        assert a.equals(b)
+
+    def test_inequality(self):
+        a = JoinResult(
+            probe_indices=np.array([0]), build_positions=np.array([1])
+        )
+        b = JoinResult(
+            probe_indices=np.array([0]), build_positions=np.array([2])
+        )
+        assert not a.equals(b)
+
+    def test_different_sizes_unequal(self):
+        a = JoinResult(
+            probe_indices=np.array([0]), build_positions=np.array([1])
+        )
+        b = JoinResult(
+            probe_indices=np.empty(0, dtype=np.int64),
+            build_positions=np.empty(0, dtype=np.int64),
+        )
+        assert not a.equals(b)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            JoinResult(
+                probe_indices=np.array([0, 1]),
+                build_positions=np.array([1]),
+            )
+
+    def test_len(self):
+        result = JoinResult(
+            probe_indices=np.array([0, 1]), build_positions=np.array([5, 6])
+        )
+        assert len(result) == 2
+
+
+class TestReferenceJoin:
+    def test_matches_found(self, small_relation, small_probes):
+        result = reference_join(small_relation.column, small_probes.keys)
+        assert len(result) == small_probes.num_matches
+
+    def test_positions_correct(self, small_relation, small_probes):
+        result = reference_join(small_relation.column, small_probes.keys)
+        expected = small_probes.expected_positions[result.probe_indices]
+        assert np.array_equal(result.build_positions, expected)
+
+
+class TestQueryEnvironment:
+    def test_places_relations_in_host(self, tiny_sim):
+        workload = WorkloadConfig(r_tuples=2**12, s_tuples=2**10)
+        env = QueryEnvironment(V100_NVLINK2, workload, sim=tiny_sim)
+        assert env.relation.allocation.space is MemorySpace.HOST
+        assert env.probe_allocation.space is MemorySpace.HOST
+
+    def test_builds_and_places_index(self, tiny_sim):
+        workload = WorkloadConfig(r_tuples=2**12, s_tuples=2**10)
+        env = QueryEnvironment(
+            V100_NVLINK2, workload, index_cls=RadixSplineIndex, sim=tiny_sim
+        )
+        assert env.index.is_placed
+
+    def test_capacity_error_propagates(self, tiny_sim):
+        # A payload-bearing B+tree over 111 GiB exceeds 256 GiB of host
+        # memory together with R.
+        workload = WorkloadConfig(r_tuples=int(111 * GIB // 8))
+        with pytest.raises(CapacityError):
+            QueryEnvironment(
+                V100_NVLINK2,
+                workload,
+                index_cls=BPlusTreeIndex,
+                sim=tiny_sim,
+                index_kwargs={"leaf_payload_bytes": 8},
+            )
+
+    def test_sizes(self, tiny_sim):
+        workload = WorkloadConfig(r_tuples=2**12, s_tuples=2**10)
+        env = QueryEnvironment(V100_NVLINK2, workload, sim=tiny_sim)
+        assert env.s_bytes == 2**10 * 8
+        assert env.r_bytes == 2**12 * 8
+
+    def test_result_bytes_scale_with_match_rate(self, tiny_sim):
+        full = QueryEnvironment(
+            V100_NVLINK2, WorkloadConfig(r_tuples=2**12, s_tuples=2**10),
+            sim=tiny_sim,
+        )
+        half = QueryEnvironment(
+            V100_NVLINK2,
+            WorkloadConfig(r_tuples=2**12, s_tuples=2**10, match_rate=0.5),
+            sim=tiny_sim,
+        )
+        assert half.result_bytes() == full.result_bytes() / 2

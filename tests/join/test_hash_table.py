@@ -1,0 +1,146 @@
+"""The multi-value hash table (WarpCore-style baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CapacityError, ConfigurationError, WorkloadError
+from repro.join.hash_join import MultiValueHashTable
+
+
+class TestConstruction:
+    def test_capacity_respects_load_factor(self):
+        table = MultiValueHashTable(expected_keys=1000, load_factor=0.5)
+        assert table.capacity >= 2000
+        assert table.capacity & (table.capacity - 1) == 0  # power of two
+
+    def test_paper_defaults(self):
+        table = MultiValueHashTable(expected_keys=100)
+        assert table.load_factor == 0.5
+        assert table.block_keys == 512
+
+    def test_footprint(self):
+        table = MultiValueHashTable(expected_keys=100)
+        assert table.footprint_bytes == table.capacity * 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiValueHashTable(expected_keys=0)
+        with pytest.raises(ConfigurationError):
+            MultiValueHashTable(expected_keys=10, load_factor=1.5)
+        with pytest.raises(ConfigurationError):
+            MultiValueHashTable(expected_keys=10, block_keys=0)
+
+
+class TestInsertLookup:
+    def test_single_value(self):
+        table = MultiValueHashTable(expected_keys=16)
+        table.insert(
+            np.array([42], dtype=np.uint64), np.array([7], dtype=np.int64)
+        )
+        probe, values = table.lookup(np.array([42], dtype=np.uint64))
+        assert probe.tolist() == [0]
+        assert values.tolist() == [7]
+
+    def test_missing_key(self):
+        table = MultiValueHashTable(expected_keys=16)
+        table.insert(
+            np.array([42], dtype=np.uint64), np.array([7], dtype=np.int64)
+        )
+        probe, values = table.lookup(np.array([43], dtype=np.uint64))
+        assert len(probe) == 0
+
+    def test_multi_value_semantics(self):
+        """Duplicate keys return every associated value."""
+        table = MultiValueHashTable(expected_keys=16)
+        table.insert(
+            np.array([5, 5, 5], dtype=np.uint64),
+            np.array([1, 2, 3], dtype=np.int64),
+        )
+        __, values = table.lookup(np.array([5], dtype=np.uint64))
+        assert sorted(values.tolist()) == [1, 2, 3]
+
+    def test_probe_index_tracks_input_order(self):
+        table = MultiValueHashTable(expected_keys=16)
+        table.insert(
+            np.array([1, 2], dtype=np.uint64), np.array([10, 20], dtype=np.int64)
+        )
+        probe, values = table.lookup(np.array([2, 1], dtype=np.uint64))
+        assert probe.tolist() == [0, 1]
+        assert values.tolist() == [20, 10]
+
+    def test_collision_chains_resolve(self):
+        # Force collisions with a nearly full small table.
+        table = MultiValueHashTable(expected_keys=6, load_factor=0.9)
+        keys = np.arange(100, 106, dtype=np.uint64)
+        table.insert(keys, np.arange(6, dtype=np.int64))
+        for i, key in enumerate(keys):
+            __, values = table.lookup(np.array([key], dtype=np.uint64))
+            assert values.tolist() == [i]
+
+    def test_chain_statistics_grow_with_duplicates(self):
+        flat = MultiValueHashTable(expected_keys=512)
+        flat.insert(
+            np.arange(256, dtype=np.uint64), np.arange(256, dtype=np.int64)
+        )
+        skewed = MultiValueHashTable(expected_keys=512)
+        skewed.insert(
+            np.zeros(256, dtype=np.uint64) + 7,
+            np.arange(256, dtype=np.int64),
+        )
+        # 256 duplicates of one key form one long run: the mean probe
+        # chain is far longer than with unique keys.
+        assert skewed.mean_insert_probes > 10 * flat.mean_insert_probes
+        assert skewed.max_insert_probes >= 256
+
+    def test_capacity_error(self):
+        table = MultiValueHashTable(expected_keys=4, load_factor=0.9)
+        with pytest.raises(CapacityError):
+            table.insert(
+                np.arange(100, dtype=np.uint64),
+                np.arange(100, dtype=np.int64),
+            )
+
+    def test_reserved_key_rejected(self):
+        table = MultiValueHashTable(expected_keys=4)
+        with pytest.raises(WorkloadError):
+            table.insert(
+                np.array([2**64 - 1], dtype=np.uint64),
+                np.array([0], dtype=np.int64),
+            )
+
+    def test_length_mismatch_rejected(self):
+        table = MultiValueHashTable(expected_keys=4)
+        with pytest.raises(WorkloadError):
+            table.insert(
+                np.array([1], dtype=np.uint64),
+                np.array([1, 2], dtype=np.int64),
+            )
+
+    def test_mean_probes_empty(self):
+        assert MultiValueHashTable(expected_keys=4).mean_insert_probes == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_keys=st.integers(min_value=1, max_value=300),
+    duplication=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_table_equals_dict_of_lists(num_keys, duplication, seed):
+    """The table is semantically a multimap, whatever the collisions."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, num_keys, size=num_keys * duplication).astype(
+        np.uint64
+    )
+    values = np.arange(len(keys), dtype=np.int64)
+    table = MultiValueHashTable(expected_keys=len(keys))
+    table.insert(keys, values)
+    expected = {}
+    for key, value in zip(keys.tolist(), values.tolist()):
+        expected.setdefault(key, []).append(value)
+    probes = np.unique(keys)
+    probe_idx, found = table.lookup(probes)
+    for i, key in enumerate(probes.tolist()):
+        got = sorted(found[probe_idx == i].tolist())
+        assert got == sorted(expected[key])

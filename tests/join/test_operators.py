@@ -1,0 +1,173 @@
+"""Functional equivalence of all join operators, across indexes.
+
+The paper compares four INLJ variants and a hash join on one workload; all
+of them compute the same equi-join, so every operator must produce exactly
+the reference result -- including under partitioning, windowing, skew, and
+partial match rates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import WorkloadConfig, make_workload
+from repro.errors import WorkloadError
+from repro.indexes import ALL_INDEX_TYPES
+from repro.join.base import reference_join
+from repro.join.hash_join import HashJoin
+from repro.join.inlj import IndexNestedLoopJoin
+from repro.join.partitioned import PartitionedINLJ
+from repro.join.window import WindowedINLJ
+from repro.partition.bits import choose_partition_bits
+from repro.partition.radix import RadixPartitioner
+
+INDEX_IDS = [cls.__name__ for cls in ALL_INDEX_TYPES]
+
+
+def make_partitioner(relation, partitions=64):
+    bits = choose_partition_bits(relation.column, partitions, ignored_lsb=4)
+    return RadixPartitioner(bits)
+
+
+@pytest.fixture(params=ALL_INDEX_TYPES, ids=INDEX_IDS)
+def index_cls(request):
+    return request.param
+
+
+@pytest.fixture(
+    params=[
+        dict(match_rate=1.0, zipf_theta=0.0),
+        dict(match_rate=0.7, zipf_theta=0.0),
+        dict(match_rate=1.0, zipf_theta=1.25),
+    ],
+    ids=["all-match", "partial-match", "skewed"],
+)
+def workload(request):
+    config = WorkloadConfig(
+        r_tuples=2**14, s_tuples=2**11, seed=21, **request.param
+    )
+    relation, probes = make_workload(config, probe_count=2**11)
+    return relation, probes
+
+
+class TestINLJ:
+    def test_matches_reference(self, index_cls, workload):
+        relation, probes = workload
+        join = IndexNestedLoopJoin(index_cls(relation))
+        assert join.join(probes.keys).equals(
+            reference_join(relation.column, probes.keys)
+        )
+
+    def test_rejects_matrix_input(self, index_cls, workload):
+        relation, probes = workload
+        join = IndexNestedLoopJoin(index_cls(relation))
+        with pytest.raises(WorkloadError):
+            join.join(probes.keys.reshape(1, -1))
+
+
+class TestPartitionedINLJ:
+    def test_matches_reference(self, index_cls, workload):
+        relation, probes = workload
+        join = PartitionedINLJ(
+            index_cls(relation), make_partitioner(relation)
+        )
+        assert join.join(probes.keys).equals(
+            reference_join(relation.column, probes.keys)
+        )
+
+    def test_probe_indices_refer_to_original_order(self, index_cls, workload):
+        """Partitioning permutes lookups; results must be de-permuted."""
+        relation, probes = workload
+        join = PartitionedINLJ(
+            index_cls(relation), make_partitioner(relation)
+        )
+        result = join.join(probes.keys)
+        looked_up = relation.column.rank_of(probes.keys[result.probe_indices])
+        assert np.array_equal(looked_up, result.build_positions)
+
+
+class TestWindowedINLJ:
+    @pytest.mark.parametrize("window_bytes", [64, 4096, 10**9])
+    def test_matches_reference_any_window(
+        self, index_cls, workload, window_bytes
+    ):
+        relation, probes = workload
+        join = WindowedINLJ(
+            index_cls(relation),
+            make_partitioner(relation),
+            window_bytes=window_bytes,
+        )
+        assert join.join(probes.keys).equals(
+            reference_join(relation.column, probes.keys)
+        )
+
+    def test_window_iteration_covers_stream(self, index_cls, workload):
+        relation, probes = workload
+        join = WindowedINLJ(
+            index_cls(relation), make_partitioner(relation), window_bytes=512
+        )
+        seen = sum(len(keys) for __, keys in join.windows(probes.keys))
+        assert seen == len(probes.keys)
+
+    def test_last_window_closes_early(self, index_cls, workload):
+        """Section 5.1: the final window closes when the stream ends."""
+        relation, probes = workload
+        join = WindowedINLJ(
+            index_cls(relation), make_partitioner(relation), window_bytes=8 * 60
+        )
+        windows = list(join.windows(probes.keys))
+        assert len(windows[-1][1]) == len(probes.keys) % 60 or 60
+
+    def test_empty_stream(self, index_cls, workload):
+        relation, __ = workload
+        join = WindowedINLJ(
+            index_cls(relation), make_partitioner(relation), window_bytes=4096
+        )
+        result = join.join(np.empty(0, dtype=np.uint64))
+        assert len(result) == 0
+
+    def test_window_tuples(self, index_cls, workload):
+        relation, __ = workload
+        join = WindowedINLJ(
+            index_cls(relation), make_partitioner(relation), window_bytes=4096
+        )
+        assert join.window_tuples == 512
+
+    def test_rejects_tiny_window(self, index_cls, workload):
+        relation, __ = workload
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            WindowedINLJ(
+                index_cls(relation), make_partitioner(relation), window_bytes=4
+            )
+
+
+class TestHashJoinFunctional:
+    def test_matches_reference(self, workload):
+        relation, probes = workload
+        join = HashJoin(relation)
+        assert join.join(probes.keys).equals(
+            reference_join(relation.column, probes.keys)
+        )
+
+    def test_all_operators_agree(self, workload):
+        """Cross-check every operator against every other."""
+        relation, probes = workload
+        partitioner = make_partitioner(relation)
+        results = [HashJoin(relation).join(probes.keys)]
+        for index_cls in ALL_INDEX_TYPES:
+            index = index_cls(relation)
+            results.append(IndexNestedLoopJoin(index).join(probes.keys))
+            results.append(
+                WindowedINLJ(index, partitioner, window_bytes=2048).join(
+                    probes.keys
+                )
+            )
+        first = results[0]
+        for other in results[1:]:
+            assert first.equals(other)
+
+    def test_requires_materialized_relation(self, virtual_relation):
+        join = HashJoin(virtual_relation)
+        with pytest.raises(WorkloadError):
+            join.join(np.array([1], dtype=np.uint64))

@@ -1,0 +1,109 @@
+"""Radix-partitioned (Grace-style) hash join."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.data.generator import WorkloadConfig, make_workload
+from repro.errors import WorkloadError
+from repro.hardware.memory import MemorySpace
+from repro.hardware.spec import V100_NVLINK2
+from repro.join.base import QueryEnvironment, reference_join
+from repro.join.hash_join import HashJoin
+from repro.join.partitioned_hash import PartitionedHashJoin
+from repro.partition.bits import choose_partition_bits
+from repro.partition.radix import RadixPartitioner
+from repro.units import GIB
+
+SIM = SimulationConfig(probe_sample=2**10)
+
+
+def make_join(relation, partitions=64):
+    bits = choose_partition_bits(relation.column, partitions, ignored_lsb=4)
+    return PartitionedHashJoin(relation, RadixPartitioner(bits))
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("match_rate", [1.0, 0.6])
+    def test_matches_reference(self, match_rate):
+        config = WorkloadConfig(
+            r_tuples=2**14, s_tuples=2**11, match_rate=match_rate, seed=8
+        )
+        relation, probes = make_workload(config)
+        join = make_join(relation)
+        assert join.join(probes.keys).equals(
+            reference_join(relation.column, probes.keys)
+        )
+
+    def test_agrees_with_plain_hash_join(self, small_relation, small_probes):
+        partitioned = make_join(small_relation).join(small_probes.keys)
+        plain = HashJoin(small_relation).join(small_probes.keys)
+        assert partitioned.equals(plain)
+
+    def test_empty_probe_side(self, small_relation):
+        join = make_join(small_relation)
+        assert len(join.join(np.empty(0, dtype=np.uint64))) == 0
+
+    def test_requires_materialized(self, virtual_relation):
+        join = make_join(virtual_relation)
+        with pytest.raises(WorkloadError):
+            join.join(np.array([1], dtype=np.uint64))
+
+
+class TestEstimate:
+    def make_env(self, r_gib):
+        workload = WorkloadConfig(r_tuples=int(r_gib * GIB) // 8)
+        return QueryEnvironment(V100_NVLINK2, workload, sim=SIM)
+
+    def test_three_stages(self):
+        env = self.make_env(2.0)
+        cost = make_join(env.relation, partitions=2048).estimate(env)
+        assert set(cost.breakdown) >= {"partition S", "partition R", "join"}
+
+    def test_small_r_partitions_in_gpu(self):
+        env = self.make_env(2.0)
+        make_join(env.relation, partitions=2048).estimate(env)
+        labels = [a.label for a in env.machine.memory.allocations]
+        partitioned_r = next(
+            a for a in env.machine.memory.allocations
+            if a.label == "partitioned R"
+        )
+        assert partitioned_r.space is MemorySpace.DEVICE
+
+    def test_large_r_spills_to_host(self):
+        env = self.make_env(48.0)
+        make_join(env.relation, partitions=2048).estimate(env)
+        partitioned_r = next(
+            a for a in env.machine.memory.allocations
+            if a.label == "partitioned R"
+        )
+        assert partitioned_r.space is MemorySpace.HOST
+
+    def test_consumes_memory_equal_to_inputs(self):
+        """Section 2.3: "partitioning both inputs consumes additional
+        memory equal to the input size"."""
+        env = self.make_env(2.0)
+        before_device = env.machine.memory.used(MemorySpace.DEVICE)
+        make_join(env.relation, partitions=2048).estimate(env)
+        extra = env.machine.memory.used(MemorySpace.DEVICE) - before_device
+        assert extra >= (env.workload.r_tuples + env.workload.s_tuples) * 16
+
+    def test_detrimental_at_scale(self):
+        """Section 2.3: partitioned joins lose to the pipelined joins --
+        at out-of-core scale R crosses the interconnect multiple times."""
+        env = self.make_env(48.0)
+        partitioned = make_join(env.relation, partitions=2048).estimate(env)
+        env2 = self.make_env(48.0)
+        plain = HashJoin(env2.relation).estimate(env2)
+        assert (
+            partitioned.queries_per_second < plain.queries_per_second
+        )
+
+    def test_interconnect_traffic_multiplied_when_spilling(self):
+        env = self.make_env(48.0)
+        partitioned = make_join(env.relation, partitions=2048).estimate(env)
+        env2 = self.make_env(48.0)
+        plain = HashJoin(env2.relation).estimate(env2)
+        assert (
+            partitioned.counters.scan_bytes > 2.5 * plain.counters.scan_bytes
+        )

@@ -1,0 +1,102 @@
+"""Partition-bit selection (paper Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.column import MaterializedColumn, VirtualSortedColumn
+from repro.errors import ConfigurationError
+from repro.partition.bits import PartitionBits, choose_partition_bits
+
+
+class TestPartitionBits:
+    def test_partition_of(self):
+        bits = PartitionBits(shift=4, bits=3)
+        keys = np.array([0, 16, 32, 128], dtype=np.uint64)
+        assert bits.partition_of(keys).tolist() == [0, 1, 2, 0]
+
+    def test_num_partitions(self):
+        assert PartitionBits(shift=0, bits=11).num_partitions == 2048
+
+    def test_offset_applied(self):
+        bits = PartitionBits(shift=0, bits=2, offset=100)
+        assert bits.partition_of(np.array([101], dtype=np.uint64))[0] == 1
+
+    def test_range_bounded(self):
+        bits = PartitionBits(shift=2, bits=4)
+        keys = np.arange(0, 10_000, 7, dtype=np.uint64)
+        partitions = bits.partition_of(keys)
+        assert partitions.min() >= 0
+        assert partitions.max() < 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionBits(shift=-1, bits=4)
+        with pytest.raises(ConfigurationError):
+            PartitionBits(shift=0, bits=0)
+        with pytest.raises(ConfigurationError):
+            PartitionBits(shift=0, bits=40)
+        with pytest.raises(ConfigurationError):
+            PartitionBits(shift=0, bits=4, offset=-1)
+
+
+class TestChoosePartitionBits:
+    def test_paper_configuration(self):
+        """2048 partitions over a paper-scale domain, 4 LSBs ignored."""
+        column = VirtualSortedColumn(2**28, stride=4)
+        bits = choose_partition_bits(column, 2048, ignored_lsb=4)
+        assert bits.num_partitions == 2048
+        # The top used bit splits the key domain.
+        span_bits = (column.max_key - column.min_key).bit_length()
+        assert bits.shift + bits.bits == span_bits
+
+    def test_ignored_lsb_floor(self):
+        # A tiny domain cannot give 2048 partitions above the ignored bits.
+        column = MaterializedColumn(
+            np.arange(0, 256, 4, dtype=np.uint64)
+        )
+        bits = choose_partition_bits(column, 2048, ignored_lsb=4)
+        assert bits.shift >= 4
+        assert bits.num_partitions <= 2048
+
+    def test_partitions_split_domain_evenly(self):
+        column = VirtualSortedColumn(2**20, stride=4)
+        bits = choose_partition_bits(column, 64)
+        keys = column.key_at(np.arange(0, 2**20, 97))
+        partitions = bits.partition_of(keys)
+        counts = np.bincount(partitions, minlength=64)
+        assert counts.min() > 0
+        assert counts.max() / counts.mean() < 1.5
+
+    def test_partition_ids_monotone_in_key(self):
+        """Partitions must cover contiguous key ranges (the property the
+        windowed INLJ's locality rests on)."""
+        column = VirtualSortedColumn(2**16, stride=4)
+        bits = choose_partition_bits(column, 256)
+        keys = column.key_at(np.arange(2**16))
+        partitions = bits.partition_of(keys)
+        assert np.all(np.diff(partitions) >= 0)
+
+    def test_offset_is_min_key(self):
+        column = VirtualSortedColumn(2**12, stride=4, offset=10_000)
+        bits = choose_partition_bits(column, 16)
+        assert bits.offset == column.min_key
+
+    def test_rejects_non_power_of_two(self):
+        column = VirtualSortedColumn(2**12)
+        with pytest.raises(ConfigurationError):
+            choose_partition_bits(column, 1000)
+
+    def test_rejects_one_partition(self):
+        column = VirtualSortedColumn(2**12)
+        with pytest.raises(ConfigurationError):
+            choose_partition_bits(column, 1)
+
+    def test_rejects_negative_lsb(self):
+        column = VirtualSortedColumn(2**12)
+        with pytest.raises(ConfigurationError):
+            choose_partition_bits(column, 16, ignored_lsb=-1)
+
+    def test_rejects_zero_span(self):
+        column = MaterializedColumn(np.array([5], dtype=np.uint64))
+        with pytest.raises(ConfigurationError):
+            choose_partition_bits(column, 16)

@@ -1,0 +1,117 @@
+"""CPU baseline cost model."""
+
+import pytest
+
+from repro.data.generator import WorkloadConfig
+from repro.errors import ConfigurationError
+from repro.hardware.spec import V100_NVLINK2
+from repro.perf.cpu import CpuCostModel
+from repro.units import GIB
+
+
+@pytest.fixture
+def model():
+    return CpuCostModel(V100_NVLINK2.cpu)
+
+
+def workload_at(gib, **kwargs):
+    return WorkloadConfig(r_tuples=int(gib * GIB) // 8, **kwargs)
+
+
+class TestResourceTimes:
+    def test_scan_is_bandwidth_bound(self, model):
+        bandwidth = V100_NVLINK2.cpu.memory_bandwidth_bytes
+        assert model.scan_time(bandwidth) == pytest.approx(1.0)
+
+    def test_random_slower_than_sequential_per_byte(self, model):
+        num_bytes = GIB
+        accesses = num_bytes / 64
+        assert model.random_time(accesses) > model.scan_time(num_bytes)
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ConfigurationError):
+            model.scan_time(-1)
+        with pytest.raises(ConfigurationError):
+            model.random_time(-1)
+
+
+class TestHashJoin:
+    def test_scan_bound_at_large_r(self, model):
+        cost = model.hash_join(workload_at(100.0))
+        # Reading 100 GiB must dominate probing 2^26-entry structures.
+        assert cost.breakdown["stream"] > 0
+        assert cost.seconds >= cost.breakdown["stream"]
+
+    def test_declines_with_r(self, model):
+        small = model.hash_join(workload_at(8.0))
+        large = model.hash_join(workload_at(64.0))
+        assert large.seconds > small.seconds
+
+    def test_skew_degenerates(self, model):
+        flat = model.hash_join(workload_at(32.0))
+        skewed = model.hash_join(workload_at(32.0, zipf_theta=1.75))
+        assert skewed.seconds > 50 * flat.seconds
+
+
+class TestIndexJoin:
+    def test_independent_of_r_size(self, model):
+        """The CPU INLJ cost is driven by |S| lookups, not |R| bytes --
+        the transfer-volume argument of the paper's Fig. 1."""
+        small = model.index_join(workload_at(8.0))
+        large = model.index_join(workload_at(100.0))
+        assert large.seconds == pytest.approx(small.seconds, rel=0.01)
+
+    def test_beats_cpu_hash_join_at_low_selectivity(self, model):
+        workload = workload_at(100.0)
+        assert (
+            model.index_join(workload).seconds
+            < model.hash_join(workload).seconds
+        )
+
+    def test_hash_join_random_bound_at_scale(self, model):
+        """On a CPU the large-R hash join is bound by its random probes,
+        not by streaming the inputs."""
+        cost = model.hash_join(workload_at(64.0))
+        assert cost.breakdown["random"] > 10 * cost.breakdown["stream"]
+
+    def test_rejects_bad_lookup_cost(self, model):
+        with pytest.raises(ConfigurationError):
+            model.index_join(workload_at(1.0), accesses_per_lookup=0)
+
+
+class TestPaperNarrative:
+    def test_gpu_scans_on_level_playing_field(self):
+        """Section 2.1: the GPU "scans tables on a level playing field
+        with CPUs" -- streaming the same bytes takes comparable time on
+        either side, because CPU memory feeds both."""
+        from repro.perf.model import CostModel
+
+        num_bytes = 64 * GIB
+        cpu_seconds = CpuCostModel(V100_NVLINK2.cpu).scan_time(num_bytes)
+        gpu_seconds = CostModel(V100_NVLINK2).scan_time(num_bytes)
+        ratio = gpu_seconds / cpu_seconds
+        assert 0.5 < ratio < 2.0  # no order-of-magnitude gap either way
+
+    def test_gpu_index_join_beats_cpu_at_low_selectivity(self):
+        """The paper's point: selectivity + fast interconnects is where
+        the GPU wins big."""
+        from repro.config import SimulationConfig
+        from repro.experiments.common import default_partitioner
+        from repro.join.base import QueryEnvironment
+        from repro.join.window import WindowedINLJ
+        from repro.indexes import RadixSplineIndex
+        from repro.units import MIB
+
+        workload = workload_at(100.0)
+        cpu = CpuCostModel(V100_NVLINK2.cpu).hash_join(workload)
+        env = QueryEnvironment(
+            V100_NVLINK2,
+            workload,
+            index_cls=RadixSplineIndex,
+            sim=SimulationConfig(probe_sample=2**12),
+        )
+        join = WindowedINLJ(
+            env.index, default_partitioner(env.column), window_bytes=32 * MIB
+        )
+        gpu = join.estimate(env)
+        assert gpu.seconds < cpu.seconds / 1.5

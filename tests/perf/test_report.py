@@ -1,0 +1,67 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.report import Series, format_series_table, format_table
+
+
+class TestSeries:
+    def test_append(self):
+        series = Series("x")
+        series.append(1.0, 2.0)
+        series.append(3.0, 4.0)
+        assert len(series) == 2
+        assert series.as_dict() == {1.0: 2.0, 3.0: 4.0}
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(("a", "bb"), [("1", "2"), ("333", "4")])
+        lines = text.split("\n")
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+
+    def test_title(self):
+        text = format_table(("a",), [("1",)], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_column_alignment(self):
+        text = format_table(("col",), [("x",), ("longer",)])
+        lines = text.split("\n")
+        assert len(lines[2]) == len(lines[3])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(("a", "b"), [("1",)])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table((), [])
+
+
+class TestFormatSeriesTable:
+    def test_shared_axis(self):
+        a = Series("A")
+        a.append(1, 10)
+        a.append(2, 20)
+        b = Series("B")
+        b.append(2, 200)
+        text = format_series_table([a, b], x_label="R")
+        assert "A" in text and "B" in text
+        # Missing point renders as '-'.
+        first_data_row = text.split("\n")[2]
+        assert "-" in first_data_row
+
+    def test_sorted_x(self):
+        a = Series("A")
+        a.append(5, 1)
+        a.append(1, 2)
+        text = format_series_table([a], x_label="x")
+        rows = text.split("\n")[2:]
+        assert rows[0].startswith("1")
+        assert rows[1].startswith("5")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            format_series_table([], x_label="x")

@@ -1,0 +1,68 @@
+"""Command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class _Capture:
+    """Adapter over pytest's capsys with the getvalue() interface."""
+
+    def __init__(self, capsys):
+        self._capsys = capsys
+        self._seen = ""
+
+    def getvalue(self):
+        self._seen += self._capsys.readouterr().out
+        return self._seen
+
+
+@pytest.fixture
+def capture(capsys):
+    return _Capture(capsys)
+
+
+class TestInfo:
+    def test_lists_machines_and_indexes(self, capture):
+        assert main(["info"]) == 0
+        text = capture.getvalue()
+        assert "v100" in text and "gh200" in text
+        assert "RadixSpline" in text and "FAST tree" in text
+
+    def test_marks_extensions(self, capture):
+        main(["info"])
+        assert "[extension]" in capture.getvalue()
+
+
+class TestPlan:
+    def test_selective_workload_picks_index_join(self, capture):
+        assert main(["plan", "--r-gib", "48"]) == 0
+        text = capture.getvalue()
+        assert "chosen: windowed INLJ" in text
+        assert "selectivity" in text
+
+    def test_unselective_workload_picks_hash_join(self, capture):
+        main(["plan", "--r-gib", "0.5"])
+        assert "chosen: hash join" in capture.getvalue()
+
+    def test_machine_selection(self, capture):
+        main(["plan", "--r-gib", "8", "--machine", "gh200"])
+        assert "GH200" in capture.getvalue()
+
+    def test_require_updates(self, capture):
+        main(["plan", "--r-gib", "48", "--require-updates"])
+        text = capture.getvalue()
+        assert "excluded" in text
+        assert "RadixSpline" not in text.split("chosen:")[1].split("\n")[0]
+
+
+class TestExperiments:
+    def test_table1_subset(self, capture):
+        assert main(["experiments", "table1"]) == 0
+        assert "NVLink" in capture.getvalue()
+
+
+class TestDefault:
+    def test_no_command_prints_help(self, capture):
+        assert main([]) == 1
+        assert "experiments" in capture.getvalue()

@@ -1,0 +1,271 @@
+"""Integration tests: the paper's headline shapes, end-to-end.
+
+Each test reproduces one qualitative finding on a moderate configuration
+(smaller samples than the benchmarks, same machinery).  These are the
+assertions that make the reproduction a reproduction; if one fails, a
+model change broke a paper result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.data.generator import WorkloadConfig
+from repro.experiments.common import (
+    default_partitioner,
+    gib_to_tuples,
+    make_environment,
+)
+from repro.hardware.spec import A100_PCIE4, V100_NVLINK2
+from repro.indexes import (
+    ALL_INDEX_TYPES,
+    BinarySearchIndex,
+    HarmoniaIndex,
+    RadixSplineIndex,
+)
+from repro.join.hash_join import HashJoin
+from repro.join.inlj import IndexNestedLoopJoin
+from repro.join.partitioned import PartitionedINLJ
+from repro.join.window import WindowedINLJ
+from repro.units import MIB
+
+NAIVE_SIM = SimulationConfig(probe_sample=2**15)
+ORDERED_SIM = SimulationConfig(probe_sample=2**13)
+
+
+def naive_estimate(index_cls, r_gib, sim=NAIVE_SIM, spec=V100_NVLINK2):
+    env = make_environment(
+        spec, gib_to_tuples(r_gib), index_cls=index_cls, sim=sim
+    )
+    return IndexNestedLoopJoin(env.index).estimate(env)
+
+
+def partitioned_estimate(index_cls, r_gib, spec=V100_NVLINK2):
+    env = make_environment(
+        spec, gib_to_tuples(r_gib), index_cls=index_cls, sim=ORDERED_SIM
+    )
+    return PartitionedINLJ(env.index, default_partitioner(env.column)).estimate(
+        env
+    )
+
+
+def windowed_estimate(index_cls, r_gib, spec=V100_NVLINK2, theta=0.0):
+    env = make_environment(
+        spec, gib_to_tuples(r_gib), index_cls=index_cls, sim=ORDERED_SIM,
+        zipf_theta=theta,
+    )
+    join = WindowedINLJ(
+        env.index, default_partitioner(env.column), window_bytes=32 * MIB
+    )
+    return join.estimate(env)
+
+
+def hash_estimate(r_gib, spec=V100_NVLINK2, theta=0.0):
+    env = make_environment(
+        spec, gib_to_tuples(r_gib), sim=ORDERED_SIM, zipf_theta=theta
+    )
+    return HashJoin(env.relation).estimate(env)
+
+
+class TestFig3Shapes:
+    """Naive INLJ: the 32 GiB cliff; hash join always wins."""
+
+    def test_tlb_cliff_at_32_gib(self):
+        """Throughput drops suddenly when R crosses the TLB range, driven
+        by the translation-request spike (Figs. 3-4 together)."""
+        inside = naive_estimate(BinarySearchIndex, 24.0)
+        outside = naive_estimate(BinarySearchIndex, 48.0)
+        assert inside.queries_per_second > 2 * outside.queries_per_second
+        assert inside.counters.translation_requests_per_lookup < 1.0
+        assert outside.counters.translation_requests_per_lookup > 10.0
+
+    def test_no_cliff_for_hash_join(self):
+        """The hash join declines smoothly (~1/R), with no TLB cliff."""
+        inside = hash_estimate(24.0)
+        outside = hash_estimate(48.0)
+        ratio = inside.queries_per_second / outside.queries_per_second
+        assert ratio < 2.5  # roughly the 2x data growth, no extra cliff
+
+    @pytest.mark.parametrize(
+        "index_cls", ALL_INDEX_TYPES, ids=[c.__name__ for c in ALL_INDEX_TYPES]
+    )
+    def test_naive_inlj_never_beats_hash_join(self, index_cls):
+        """Section 3.3.1: "The INLJ does not outperform the hash join"."""
+        for r_gib in (8.0, 48.0, 111.0):
+            inlj = naive_estimate(index_cls, r_gib)
+            hash_join = hash_estimate(r_gib)
+            assert (
+                inlj.queries_per_second <= hash_join.queries_per_second * 1.05
+            ), f"{index_cls.name} beat the hash join at {r_gib} GiB"
+
+
+class TestFig4Shapes:
+    """Translation requests: near zero below 32 GiB, spike after."""
+
+    def test_near_zero_below_tlb_range(self):
+        cost = naive_estimate(BinarySearchIndex, 16.0)
+        assert cost.counters.translation_requests_per_lookup < 1.0
+
+    def test_spike_beyond_tlb_range(self):
+        cost = naive_estimate(BinarySearchIndex, 64.0)
+        assert cost.counters.translation_requests_per_lookup > 20.0
+
+    def test_binary_search_worst_harmonia_best(self):
+        """Paper: ~105 requests/key (binary) vs ~11.3 (Harmonia)."""
+        binary = naive_estimate(BinarySearchIndex, 111.0)
+        harmonia = naive_estimate(HarmoniaIndex, 111.0)
+        binary_rq = binary.counters.translation_requests_per_lookup
+        harmonia_rq = harmonia.counters.translation_requests_per_lookup
+        assert binary_rq > 4 * harmonia_rq
+        assert 60 < binary_rq < 160  # paper: ~105
+        assert 4 < harmonia_rq < 25  # paper: ~11.3
+
+
+class TestFig5Shapes:
+    """Partitioned lookups: cliff removed, INLJ beats hash join 3-10x."""
+
+    def test_cliff_removed(self):
+        inside = partitioned_estimate(BinarySearchIndex, 24.0)
+        outside = partitioned_estimate(BinarySearchIndex, 48.0)
+        ratio = inside.queries_per_second / outside.queries_per_second
+        assert ratio < 2.5  # gentle logarithmic decline, no cliff
+
+    def test_partitioning_recovers_throughput(self):
+        for index_cls in (BinarySearchIndex, RadixSplineIndex):
+            naive = naive_estimate(index_cls, 111.0)
+            partitioned = partitioned_estimate(index_cls, 111.0)
+            assert (
+                partitioned.queries_per_second
+                > 2 * naive.queries_per_second
+            )
+
+    def test_speedup_over_hash_join_in_paper_band(self):
+        """Up to 3-10x over the hash join at 111 GiB (Section 6)."""
+        hash_join = hash_estimate(111.0)
+        speedups = []
+        for index_cls in ALL_INDEX_TYPES:
+            partitioned = partitioned_estimate(index_cls, 111.0)
+            speedups.append(
+                partitioned.queries_per_second
+                / hash_join.queries_per_second
+            )
+        assert min(speedups) > 2.0
+        assert 6.0 < max(speedups) < 15.0
+
+    def test_radix_spline_fastest(self):
+        """Section 6 recommends the RadixSpline (1.1-1.8x over Harmonia)."""
+        radix_spline = partitioned_estimate(RadixSplineIndex, 111.0)
+        harmonia = partitioned_estimate(HarmoniaIndex, 111.0)
+        ratio = (
+            radix_spline.queries_per_second / harmonia.queries_per_second
+        )
+        assert 1.05 < ratio < 2.2
+
+    def test_translation_requests_nearly_eliminated(self):
+        """Fig. 6: nearly 100% of requests eliminated."""
+        for index_cls in (BinarySearchIndex, HarmoniaIndex):
+            naive = naive_estimate(index_cls, 111.0)
+            partitioned = partitioned_estimate(index_cls, 111.0)
+            before = naive.counters.translation_requests_per_lookup
+            after = partitioned.counters.translation_requests_per_lookup
+            assert after < 0.05 * before
+
+
+class TestFig7Shapes:
+    """Window size: no TLB collapse at any size."""
+
+    def test_windowed_close_to_fully_partitioned(self):
+        """A 32 MiB window retains most of full partitioning's benefit
+        without materializing the input."""
+        windowed = windowed_estimate(RadixSplineIndex, 100.0)
+        partitioned = partitioned_estimate(RadixSplineIndex, 100.0)
+        assert windowed.queries_per_second > 0.5 * partitioned.queries_per_second
+
+    def test_windowed_beats_naive(self):
+        windowed = windowed_estimate(RadixSplineIndex, 100.0)
+        naive = naive_estimate(RadixSplineIndex, 100.0)
+        assert windowed.queries_per_second > 3 * naive.queries_per_second
+
+
+class TestFig8Shapes:
+    """Skew: INLJ throughput rises past exponent 1.0; hash join dies."""
+
+    def test_throughput_rises_with_heavy_skew(self):
+        uniform = windowed_estimate(RadixSplineIndex, 100.0, theta=0.0)
+        skewed = windowed_estimate(RadixSplineIndex, 100.0, theta=1.5)
+        assert skewed.queries_per_second > 2 * uniform.queries_per_second
+
+    def test_mild_skew_roughly_flat(self):
+        uniform = windowed_estimate(RadixSplineIndex, 100.0, theta=0.0)
+        mild = windowed_estimate(RadixSplineIndex, 100.0, theta=0.5)
+        ratio = mild.queries_per_second / uniform.queries_per_second
+        assert 0.5 < ratio < 2.0
+
+    def test_hash_join_exceeds_ten_hours_at_high_skew(self):
+        """The paper terminated the Zipf hash join after 10 hours."""
+        cost = hash_estimate(100.0, theta=1.75)
+        assert cost.seconds > 10 * 3600
+
+
+class TestFig9Shapes:
+    """Hardware comparison: crossovers and the A100 hash join."""
+
+    def test_crossover_exists_on_v100(self):
+        """INLJ overtakes the hash join at low selectivity on NVLink."""
+        small = 4.0
+        large = 24.0
+        assert (
+            windowed_estimate(RadixSplineIndex, small).queries_per_second
+            < hash_estimate(small).queries_per_second
+        )
+        assert (
+            windowed_estimate(RadixSplineIndex, large).queries_per_second
+            > hash_estimate(large).queries_per_second
+        )
+
+    def test_crossover_later_on_pcie(self):
+        """The A100/PCIe crossover needs lower selectivity (13.9 vs
+        6.2 GiB in the paper)."""
+        r_gib = 12.0
+        v100_wins = windowed_estimate(
+            RadixSplineIndex, r_gib
+        ).queries_per_second > hash_estimate(r_gib).queries_per_second
+        a100_wins = windowed_estimate(
+            RadixSplineIndex, r_gib, spec=A100_PCIE4
+        ).queries_per_second > hash_estimate(
+            r_gib, spec=A100_PCIE4
+        ).queries_per_second
+        assert v100_wins and not a100_wins
+
+    def test_a100_hash_join_faster(self):
+        """Paper: the hash join is ~1.7x faster on the A100."""
+        v100 = hash_estimate(64.0)
+        a100 = hash_estimate(64.0, spec=A100_PCIE4)
+        ratio = a100.queries_per_second / v100.queries_per_second
+        assert 1.1 < ratio < 2.5
+
+    def test_inlj_slower_over_pcie(self):
+        """Random lookups pay for PCIe's poor fine-grained access."""
+        v100 = windowed_estimate(RadixSplineIndex, 64.0)
+        a100 = windowed_estimate(RadixSplineIndex, 64.0, spec=A100_PCIE4)
+        assert v100.queries_per_second > 1.5 * a100.queries_per_second
+
+
+class TestDiscussionClaims:
+    """Section 6 headliners not covered above."""
+
+    def test_transfer_volume_reduced(self):
+        """The index reduces transfer volume vs a table scan (up to 12x
+        in the paper; largest at the largest R, where the scan moves the
+        most)."""
+        inlj = windowed_estimate(RadixSplineIndex, 111.0)
+        hash_join = hash_estimate(111.0)
+        reduction = (
+            hash_join.counters.remote_bytes / inlj.counters.remote_bytes
+        )
+        assert reduction > 4.0
+
+    def test_updateable_index_guidance(self):
+        """Harmonia supports updates; the RadixSpline does not."""
+        assert HarmoniaIndex.supports_updates
+        assert not RadixSplineIndex.supports_updates
