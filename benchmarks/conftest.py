@@ -7,24 +7,37 @@ deterministic cost-model evaluations, so every benchmark runs exactly once
 figure itself, not timing variance.
 
 Shared, expensive sweeps (the naive Fig. 3/4 simulation) are cached at
-session scope so Figs. 3, 4, and 6 do not re-simulate.
+session scope so Figs. 3, 4, and 6 do not re-simulate, and the repro
+session cache (:mod:`repro.experiments.cache`) is enabled for the whole
+benchmark session so identical environments and sweep points across
+modules are built and simulated once.  The sweep constants live in
+:mod:`repro.experiments.bench` so ``repro bench`` measures the same
+workload as this harness.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.config import SimulationConfig
-from repro.experiments import fig3, fig5
+from repro.experiments import cache, fig3, fig5
+from repro.experiments.bench import (
+    BENCH_NAIVE_SIM,
+    BENCH_ORDERED_SIM,
+    BENCH_R_SIZES_GIB,
+)
 
-#: R sizes used by the benchmark sweeps: the paper's range with the
-#: quoted 111 GiB endpoint (full grid costs minutes, this costs ~2).
-BENCH_R_SIZES_GIB = (1.0, 8.0, 16.0, 32.0, 48.0, 111.0)
+__all__ = ["BENCH_NAIVE_SIM", "BENCH_ORDERED_SIM", "BENCH_R_SIZES_GIB"]
 
-#: Naive (random-order) runs need wide samples for TLB thrashing; ordered
-#: runs use the analytic TLB and sample less.
-BENCH_NAIVE_SIM = SimulationConfig(probe_sample=2**15)
-BENCH_ORDERED_SIM = SimulationConfig(probe_sample=2**13)
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_cache():
+    """Share environments and point results across benchmark modules."""
+    from repro.perf.alloc import tune_allocator
+
+    tune_allocator()
+    with cache.session():
+        yield
+    cache.clear()
 
 
 def run_once(benchmark, func):

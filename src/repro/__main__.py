@@ -2,8 +2,10 @@
 
 Commands:
 
-* ``experiments [names...] [--quick]`` -- regenerate the paper's tables
-  and figures (same as ``python -m repro.experiments.runner``);
+* ``experiments [names...] [--quick] [--workers N]`` -- regenerate the
+  paper's tables and figures (same as ``python -m repro.experiments.runner``);
+* ``bench [--json FILE] [--compare-reference]`` -- time the standard
+  sweeps and record wall clocks plus key counters to a JSON report;
 * ``plan --r-gib N [options]`` -- run the access-path planner for one
   workload and print the EXPLAIN output;
 * ``info`` -- library, machine-preset, and index overview.
@@ -56,7 +58,18 @@ def cmd_info(_args) -> int:
 def cmd_experiments(args) -> int:
     from .experiments.runner import run_all
 
-    run_all(args.names, quick=args.quick)
+    run_all(args.names, quick=args.quick, workers=args.workers)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .experiments.bench import main as bench_main
+
+    bench_main(
+        json_path=args.json,
+        workers=args.workers,
+        compare_reference=args.compare_reference,
+    )
     return 0
 
 
@@ -92,6 +105,26 @@ def main(argv=None) -> int:
     )
     experiments.add_argument("names", nargs="*", help="subset to run")
     experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the standard sweeps (results identical to serial)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="time the standard sweeps and write a JSON report"
+    )
+    bench.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the benchmark payload to FILE (e.g. BENCH_1.json)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the sweeps",
+    )
+    bench.add_argument(
+        "--compare-reference", action="store_true",
+        help="also time the OrderedDict reference models for a speedup figure",
+    )
 
     plan = subparsers.add_parser(
         "plan", help="cost-based access-path selection for one workload"
@@ -112,6 +145,8 @@ def main(argv=None) -> int:
         return cmd_info(args)
     if args.command == "experiments":
         return cmd_experiments(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "plan":
         return cmd_plan(args)
     parser.print_help()

@@ -72,12 +72,18 @@ class SimulationConfig:
         exact_tlb: replay the TLB as an exact LRU (True) or use the analytic
             miss-rate approximation (False, ~100x faster, used by wide
             parameter sweeps).
+        fast_replay: replay cache/TLB streams through the vectorized numpy
+            models (:mod:`repro.hardware.fastlru`) instead of the per-line
+            ``OrderedDict`` references.  Both produce identical counters
+            (the fast engine is exact, see tests/hardware/test_fast_models);
+            set False to debug against the reference implementations.
     """
 
     probe_sample: int = 2**14
     interleave_width: int = 2**20
     seed: int = 42
     exact_tlb: bool = True
+    fast_replay: bool = True
 
     def __post_init__(self) -> None:
         if self.probe_sample <= 0 or self.probe_sample % 32 != 0:
@@ -99,6 +105,10 @@ class SimulationConfig:
     def with_seed(self, seed: int) -> "SimulationConfig":
         """Return a copy with a different base seed."""
         return replace(self, seed=seed)
+
+    def with_fast_replay(self, fast_replay: bool) -> "SimulationConfig":
+        """Return a copy toggling the vectorized replay engine."""
+        return replace(self, fast_replay=fast_replay)
 
     def scale_factor(self, s_tuples: int) -> float:
         """Factor by which sampled counters are scaled to the full relation."""

@@ -132,19 +132,25 @@ class WindowOperator(Operator):
             keys, indices = batch.keys, batch.indices
             while pending + len(keys) >= self.window_tuples:
                 take = self.window_tuples - pending
-                pending_keys.append(keys[:take])
-                pending_indices.append(indices[:take])
-                yield TupleBatch(
-                    keys=np.concatenate(pending_keys),
-                    indices=np.concatenate(pending_indices),
-                )
-                pending_keys, pending_indices, pending = [], [], 0
+                if pending_keys:
+                    pending_keys.append(keys[:take])
+                    pending_indices.append(indices[:take])
+                    yield TupleBatch(
+                        keys=np.concatenate(pending_keys),
+                        indices=np.concatenate(pending_indices),
+                    )
+                    pending_keys, pending_indices, pending = [], [], 0
+                else:
+                    # Window fills from one contiguous slice: no copy.
+                    yield TupleBatch(keys=keys[:take], indices=indices[:take])
                 keys, indices = keys[take:], indices[take:]
             if len(keys):
                 pending_keys.append(keys)
                 pending_indices.append(indices)
                 pending += len(keys)
-        if pending:
+        if len(pending_keys) == 1:
+            yield TupleBatch(keys=pending_keys[0], indices=pending_indices[0])
+        elif pending:
             yield TupleBatch(
                 keys=np.concatenate(pending_keys),
                 indices=np.concatenate(pending_indices),

@@ -1,0 +1,155 @@
+"""Wall-clock benchmark of the standard sweeps (``repro bench``).
+
+Times the Fig. 3 (naive) and Fig. 5 (partitioned) R-size sweeps with the
+fast replay engine and the session cache, and optionally the reference
+configuration (``OrderedDict`` replay models, no cache) for a speedup
+figure.  The results -- wall clocks, key series endpoints, and cache
+statistics -- are written to a ``BENCH_*.json`` file so performance
+regressions show up in review.
+
+The benchmark harness under ``benchmarks/`` imports the sweep constants
+from here so ``pytest benchmarks`` and ``repro bench`` measure the same
+workload.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Optional, Sequence
+
+from ..config import SimulationConfig
+from ..perf.alloc import tune_allocator
+from . import cache, fig3, fig5
+
+#: R sizes (GiB) the benchmark sweeps -- a spread around the paper's
+#: 32 GiB TLB-range knee plus the 111 GiB endpoint.
+BENCH_R_SIZES_GIB = (1.0, 8.0, 16.0, 32.0, 48.0, 111.0)
+
+#: Event-simulation sample sizes for benchmarking: same structure as the
+#: experiment defaults, scaled down so the sweep finishes in seconds.
+BENCH_NAIVE_SIM = SimulationConfig(probe_sample=2**15)
+BENCH_ORDERED_SIM = SimulationConfig(probe_sample=2**13)
+
+
+def _series_summary(result) -> dict:
+    """First/last y value per series -- the counters worth diffing."""
+    summary = {}
+    for series in result.series:
+        if series.y:
+            summary[series.label] = {
+                "x": [series.x[0], series.x[-1]],
+                "y": [round(series.y[0], 4), round(series.y[-1], 4)],
+            }
+    return summary
+
+
+def _run_sweeps(
+    r_sizes_gib: Sequence[float],
+    fast_replay: bool,
+    use_cache: bool,
+    workers: int,
+) -> dict:
+    """One timed pass over the Fig. 3 + Fig. 5 sweeps."""
+    tune_allocator()
+    naive = BENCH_NAIVE_SIM.with_fast_replay(fast_replay)
+    ordered = BENCH_ORDERED_SIM.with_fast_replay(fast_replay)
+    with cache.session(use_cache):
+        cache.clear()
+        started = time.perf_counter()
+        fig3_throughput, fig4_requests = fig3.run(
+            r_sizes_gib=r_sizes_gib, sim=naive, workers=workers
+        )
+        fig3_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        fig5_throughput, _ = fig5.run(
+            r_sizes_gib=r_sizes_gib, sim=ordered, workers=workers
+        )
+        fig5_seconds = time.perf_counter() - started
+        stats = cache.stats()
+        cache.clear()
+    return {
+        "fast_replay": fast_replay,
+        "cache": use_cache,
+        "workers": workers,
+        "fig3_seconds": round(fig3_seconds, 3),
+        "fig5_seconds": round(fig5_seconds, 3),
+        "total_seconds": round(fig3_seconds + fig5_seconds, 3),
+        "cache_stats": stats,
+        "fig3_queries_per_second": _series_summary(fig3_throughput),
+        "fig4_requests_per_lookup": _series_summary(fig4_requests),
+        "fig5_queries_per_second": _series_summary(fig5_throughput),
+    }
+
+
+def run_bench(
+    r_sizes_gib: Sequence[float] = BENCH_R_SIZES_GIB,
+    workers: int = 1,
+    compare_reference: bool = False,
+) -> dict:
+    """Benchmark the standard sweeps; returns the JSON-ready payload.
+
+    With ``compare_reference`` the sweeps run a second time with the
+    ``OrderedDict`` reference replay models and no session cache, and the
+    payload gains a ``speedup`` entry.  The fast and reference passes
+    produce identical figure data (the equivalence suite in
+    ``tests/hardware/test_fast_models.py`` asserts exact counter
+    equality), so the speedup compares like with like.
+    """
+    payload = {
+        "benchmark": "repro-sweeps",
+        "r_sizes_gib": list(r_sizes_gib),
+        "probe_samples": {
+            "naive": BENCH_NAIVE_SIM.probe_sample,
+            "ordered": BENCH_ORDERED_SIM.probe_sample,
+        },
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "fast": _run_sweeps(
+            r_sizes_gib, fast_replay=True, use_cache=True, workers=workers
+        ),
+    }
+    if compare_reference:
+        payload["reference"] = _run_sweeps(
+            r_sizes_gib, fast_replay=False, use_cache=False, workers=1
+        )
+        payload["speedup"] = round(
+            payload["reference"]["total_seconds"]
+            / max(payload["fast"]["total_seconds"], 1e-9),
+            2,
+        )
+    return payload
+
+
+def write_bench(payload: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(
+    json_path: Optional[str] = None,
+    workers: int = 1,
+    compare_reference: bool = False,
+) -> dict:
+    """CLI entry point: run, print a short summary, optionally write JSON."""
+    payload = run_bench(workers=workers, compare_reference=compare_reference)
+    fast = payload["fast"]
+    print(
+        f"fast sweep: fig3 {fast['fig3_seconds']:.1f}s + "
+        f"fig5 {fast['fig5_seconds']:.1f}s = {fast['total_seconds']:.1f}s "
+        f"(workers={workers}, cache hits: "
+        f"{fast['cache_stats']['point_hits']} points, "
+        f"{fast['cache_stats']['environment_hits']} environments)"
+    )
+    if compare_reference:
+        reference = payload["reference"]
+        print(
+            f"reference sweep: {reference['total_seconds']:.1f}s "
+            f"-> speedup {payload['speedup']:.2f}x"
+        )
+    if json_path:
+        write_bench(payload, json_path)
+        print(f"wrote {json_path}")
+    return payload

@@ -1,0 +1,189 @@
+"""Session-scoped environment and point-result cache for sweeps.
+
+The benchmark harness and the experiment runner evaluate many sweep
+points that share expensive setup: the same (R size, index) environment
+is rebuilt by Figs. 3/4/6, the skew sweep rebuilds one 100 GiB index per
+Zipf exponent, and the ablations rebuild identical environments back to
+back.  This module memoizes two layers:
+
+* **environments** -- :func:`environment` returns one shared
+  :class:`~repro.join.base.QueryEnvironment` per (spec, workload, index,
+  sim, index kwargs).  Environments differing only in ``zipf_theta``
+  share the built relation and index (skew affects probe sampling, not
+  the build side), so a Zipf sweep builds each index once.  Sharing is
+  safe for the experiment call pattern: ``estimate()`` resets the cache
+  hierarchy on entry and allocates no new memory.
+* **points** -- :func:`point` memoizes one simulated sweep point (a
+  :class:`~repro.perf.model.QueryCost`) under a caller-provided key.
+  Values are deep-copied in and out, so callers may mutate what they
+  get back.
+
+Caching is **disabled by default** so unit tests and ad-hoc scripts keep
+building independent objects; the runner, the benchmark harness, and
+``repro bench`` call :func:`enable`.  Results are bit-identical either
+way -- the cache only skips redundant recomputation of deterministic
+values.
+"""
+
+from __future__ import annotations
+
+import copy
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Callable, Optional, Type
+
+from ..config import SimulationConfig
+from ..data.generator import WorkloadConfig
+from ..errors import CapacityError
+from ..hardware.spec import SystemSpec
+from ..join.base import QueryEnvironment
+
+_enabled = False
+_environments: dict = {}
+_points: dict = {}
+_hits = {"environments": 0, "points": 0}
+
+
+def enable(on: bool = True) -> None:
+    """Turn session caching on (or off); state survives until :func:`clear`."""
+    global _enabled
+    _enabled = on
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def clear() -> None:
+    """Drop all cached environments and points, and reset hit counters."""
+    _environments.clear()
+    _points.clear()
+    _hits["environments"] = 0
+    _hits["points"] = 0
+
+
+def stats() -> dict:
+    """Cache occupancy and hit counts (for ``repro bench`` reporting)."""
+    return {
+        "enabled": _enabled,
+        "environments": len(_environments),
+        "points": len(_points),
+        "environment_hits": _hits["environments"],
+        "point_hits": _hits["points"],
+    }
+
+
+@contextmanager
+def session(on: bool = True):
+    """Enable caching for a with-block, restoring the previous state."""
+    previous = _enabled
+    enable(on)
+    try:
+        yield
+    finally:
+        enable(previous)
+
+
+def _base_key(
+    spec: SystemSpec,
+    workload: WorkloadConfig,
+    index_cls: Optional[Type],
+    sim: SimulationConfig,
+    index_kwargs: Optional[dict],
+):
+    kwargs_key = tuple(sorted((index_kwargs or {}).items()))
+    # Neither zipf_theta nor the simulation config influences the build
+    # side (relation, index, placement): skew only shapes probe sampling
+    # and the sim only parameterizes replay.  Key the built environment
+    # with both normalized out so a Zipf sweep builds each index once and
+    # the naive/partitioned sweeps (different sample sizes) share their
+    # builds.  ``fast_replay`` stays in the key -- it selects the machine's
+    # cache-model classes at construction time.
+    return (
+        spec,
+        replace(workload, zipf_theta=0.0),
+        index_cls,
+        sim.fast_replay,
+        kwargs_key,
+    )
+
+
+def environment(
+    spec: SystemSpec,
+    workload: WorkloadConfig,
+    index_cls: Optional[Type] = None,
+    sim: Optional[SimulationConfig] = None,
+    index_kwargs: Optional[dict] = None,
+) -> QueryEnvironment:
+    """A possibly shared :class:`QueryEnvironment` for the given point.
+
+    With caching disabled (the default) this simply constructs a fresh
+    environment.  With caching enabled, identical requests return the
+    same object, and requests differing only in ``workload.zipf_theta``
+    or the simulation config return a shallow variant sharing the
+    relation, index, and machine state.  Capacity failures are cached
+    too: a configuration that exceeded memory once re-raises immediately
+    instead of re-building its index.
+    """
+    if sim is None:
+        sim = SimulationConfig()
+
+    def build() -> QueryEnvironment:
+        return QueryEnvironment(
+            spec, workload, index_cls=index_cls, sim=sim,
+            index_kwargs=index_kwargs,
+        )
+
+    if not _enabled:
+        return build()
+    try:
+        base_key = _base_key(spec, workload, index_cls, sim, index_kwargs)
+        hash(base_key)
+    except TypeError:  # unhashable index kwargs: skip caching
+        return build()
+    cached = _environments.get(base_key)
+    if isinstance(cached, CapacityError):
+        raise cached
+    full_key = (base_key, workload.zipf_theta, sim)
+    env = _environments.get(full_key)
+    if env is not None:
+        _hits["environments"] += 1
+        return env
+    if cached is None:
+        try:
+            env = build()
+        except CapacityError as error:
+            _environments[base_key] = error
+            raise
+        _environments[base_key] = env
+    else:
+        # Same build, different skew and/or sim: share the relation,
+        # index, and machine, swapping in this point's workload and
+        # replay parameters.  The machine is shallow-copied so its
+        # ``sim`` (interleave width, seed, sample scaling) matches;
+        # hierarchy state is shared, which is safe because every
+        # ``estimate()`` resets it on entry.
+        env = copy.copy(cached)
+        env.workload = workload
+        env.sim = sim
+        env.machine = copy.copy(cached.machine)
+        env.machine.sim = sim
+        _hits["environments"] += 1  # shared an existing build
+    _environments[full_key] = env
+    return env
+
+
+def point(key, compute: Callable[[], object]):
+    """Memoize one sweep point under ``key``; deep-copied both ways."""
+    if not _enabled:
+        return compute()
+    try:
+        hash(key)
+    except TypeError:
+        return compute()
+    if key in _points:
+        _hits["points"] += 1
+        return copy.deepcopy(_points[key])
+    value = compute()
+    _points[key] = copy.deepcopy(value)
+    return value

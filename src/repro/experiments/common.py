@@ -9,7 +9,7 @@ the whole query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from ..config import (
     DEFAULT_IGNORED_LSB,
@@ -18,13 +18,14 @@ from ..config import (
 )
 from ..data.column import Column
 from ..data.generator import WorkloadConfig
-from ..errors import CapacityError
+from ..errors import CapacityError, ConfigurationError
 from ..hardware.spec import SystemSpec, V100_NVLINK2
 from ..join.base import QueryEnvironment
 from ..partition.bits import choose_partition_bits
 from ..partition.radix import RadixPartitioner
 from ..perf.report import Series, format_series_table
 from ..units import GIB, KEY_BYTES
+from . import cache
 
 #: R sizes (GiB) swept by Figs. 3-6.  The paper scales 0.5-120 GiB; the
 #: last point matches the paper's quoted "111 GiB" measurements.
@@ -55,9 +56,13 @@ def make_environment(
     Raises :class:`~repro.errors.CapacityError` when the relation or the
     index exceeds the machine's memory (the paper's reduced R limits);
     callers skip that point, as the paper's figures do.
+
+    Routed through :mod:`repro.experiments.cache`: when the session cache
+    is enabled (runner, benchmark harness, ``repro bench``), identical
+    requests share one environment instead of rebuilding the index.
     """
     workload = WorkloadConfig(r_tuples=r_tuples, zipf_theta=zipf_theta)
-    return QueryEnvironment(
+    return cache.environment(
         spec, workload, index_cls=index_cls, sim=sim, index_kwargs=index_kwargs
     )
 
@@ -125,3 +130,75 @@ def run_point_or_skip(result: ExperimentResult, label: str, func) -> Optional[fl
     except CapacityError as error:
         result.notes.append(f"{label}: skipped ({error})")
         return None
+
+
+# ----------------------------------------------------------------------
+# Sweep points as picklable tasks (the parallel runner's unit of work).
+# ----------------------------------------------------------------------
+
+#: One standard sweep point: join kind, machine, R size, index, sim.
+#: ``index_cls`` is None for the hash join.  Tasks are plain tuples of
+#: picklable values so ``multiprocessing`` workers can receive them.
+PointTask = Tuple[str, SystemSpec, int, Optional[Type], SimulationConfig]
+
+
+def run_standard_point(task: PointTask):
+    """Simulate one sweep point; returns ``("ok", cost) | ("skip", msg)``.
+
+    This is the single code path behind both the serial and the parallel
+    sweep runners -- determinism across the two is by construction, since
+    every point derives its RNG streams from the task's ``sim.seed``
+    alone.  Points are memoized through the session cache under a key
+    built only from the task, so identical (index, R size, sample
+    config) points simulate once across figures.
+    """
+    kind, spec, r_tuples, index_cls, sim = task
+
+    def compute():
+        if kind == "inlj":
+            from ..join.inlj import IndexNestedLoopJoin
+
+            env = make_environment(spec, r_tuples, index_cls=index_cls, sim=sim)
+            return IndexNestedLoopJoin(env.index).estimate(env)
+        if kind == "partitioned":
+            from ..join.partitioned import PartitionedINLJ
+
+            env = make_environment(spec, r_tuples, index_cls=index_cls, sim=sim)
+            partitioner = default_partitioner(env.column)
+            return PartitionedINLJ(env.index, partitioner).estimate(env)
+        if kind == "hash":
+            from ..join.hash_join import HashJoin
+
+            env = make_environment(spec, r_tuples, sim=sim)
+            return HashJoin(env.relation).estimate(env)
+        raise ConfigurationError(f"unknown point kind: {kind!r}")
+
+    try:
+        cost = cache.point(("standard-point",) + task, compute)
+    except CapacityError as error:
+        return ("skip", str(error))
+    return ("ok", cost)
+
+
+def map_standard_points(tasks: Sequence[PointTask], workers: int = 1) -> list:
+    """Run sweep points serially or across ``workers`` processes.
+
+    Results come back in task order either way, and each point is
+    computed by :func:`run_standard_point` either way, so serial and
+    parallel runs produce bit-identical figures.  Worker processes each
+    hold their own session cache; the merged results are re-inserted
+    into the parent's cache so later figures still get their hits.
+    """
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        return [run_standard_point(task) for task in tasks]
+    import multiprocessing
+
+    with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+        outcomes = pool.map(run_standard_point, list(tasks))
+    for task, outcome in zip(tasks, outcomes):
+        if outcome[0] == "ok":
+            cache.point(
+                ("standard-point",) + tuple(task),
+                lambda value=outcome[1]: value,
+            )
+    return outcomes

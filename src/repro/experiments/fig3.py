@@ -16,16 +16,13 @@ from typing import Sequence, Tuple
 
 from ..hardware.spec import SystemSpec, V100_NVLINK2
 from ..indexes import ALL_INDEX_TYPES
-from ..join.hash_join import HashJoin
-from ..join.inlj import IndexNestedLoopJoin
 from ..perf.report import Series
 from .common import (
     DEFAULT_R_SIZES_GIB,
     ExperimentResult,
     NAIVE_SIM,
     gib_to_tuples,
-    make_environment,
-    run_point_or_skip,
+    map_standard_points,
 )
 
 PAPER_EXPECTATION = (
@@ -39,8 +36,14 @@ def run(
     r_sizes_gib: Sequence[float] = DEFAULT_R_SIZES_GIB,
     sim=NAIVE_SIM,
     index_types: Sequence[type] = ALL_INDEX_TYPES,
+    workers: int = 1,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
-    """Sweep R; returns (fig3 throughput, fig4 translation requests)."""
+    """Sweep R; returns (fig3 throughput, fig4 translation requests).
+
+    ``workers > 1`` fans the independent (R size, index) points across
+    that many processes; results are identical to a serial run (see
+    :func:`repro.experiments.common.map_standard_points`).
+    """
     throughput = ExperimentResult(
         name="fig3",
         title="Query throughput, naive INLJ vs hash join (Q/s)",
@@ -60,32 +63,28 @@ def run(
     index_series = {cls: Series(cls.name) for cls in index_types}
     request_series = {cls: Series(cls.name) for cls in index_types}
     hash_series = Series("hash join")
+    tasks, labels = [], []
     for gib in r_sizes_gib:
         r_tuples = gib_to_tuples(gib)
         for index_cls in index_types:
-            def point(index_cls=index_cls):
-                env = make_environment(
-                    spec, r_tuples, index_cls=index_cls, sim=sim
-                )
-                return IndexNestedLoopJoin(env.index).estimate(env)
-
-            cost = run_point_or_skip(
-                throughput, f"{index_cls.name} @ {gib} GiB", point
-            )
-            if cost is None:
-                continue
-            index_series[index_cls].append(gib, cost.queries_per_second)
-            request_series[index_cls].append(
-                gib, cost.counters.translation_requests_per_lookup
-            )
-
-        def hash_point():
-            env = make_environment(spec, r_tuples, sim=sim)
-            return HashJoin(env.relation).estimate(env)
-
-        cost = run_point_or_skip(throughput, f"hash join @ {gib} GiB", hash_point)
-        if cost is not None:
+            tasks.append(("inlj", spec, r_tuples, index_cls, sim))
+            labels.append((gib, index_cls, f"{index_cls.name} @ {gib} GiB"))
+        tasks.append(("hash", spec, r_tuples, None, sim))
+        labels.append((gib, None, f"hash join @ {gib} GiB"))
+    for (gib, index_cls, label), outcome in zip(
+        labels, map_standard_points(tasks, workers)
+    ):
+        if outcome[0] == "skip":
+            throughput.notes.append(f"{label}: skipped ({outcome[1]})")
+            continue
+        cost = outcome[1]
+        if index_cls is None:
             hash_series.append(gib, cost.queries_per_second)
+            continue
+        index_series[index_cls].append(gib, cost.queries_per_second)
+        request_series[index_cls].append(
+            gib, cost.counters.translation_requests_per_lookup
+        )
     throughput.series = [index_series[cls] for cls in index_types]
     throughput.series.append(hash_series)
     requests.series = [request_series[cls] for cls in index_types]
@@ -98,12 +97,13 @@ def _annotate(
 ) -> None:
     """Derive the figures' headline observations from the data."""
     hash_series = throughput.series_by_label().get("hash join")
-    if hash_series and hash_series.y:
-        best_inlj_last = max(
-            series.y[-1]
-            for series in throughput.series
-            if series.label != "hash join" and series.y
-        )
+    inlj_lasts = [
+        series.y[-1]
+        for series in throughput.series
+        if series.label != "hash join" and series.y
+    ]
+    if hash_series and hash_series.y and inlj_lasts:
+        best_inlj_last = max(inlj_lasts)
         beats = best_inlj_last > hash_series.y[-1]
         throughput.notes.append(
             "largest-R check: best naive INLJ "

@@ -16,17 +16,13 @@ from typing import Sequence, Tuple
 
 from ..hardware.spec import SystemSpec, V100_NVLINK2
 from ..indexes import ALL_INDEX_TYPES
-from ..join.hash_join import HashJoin
-from ..join.partitioned import PartitionedINLJ
 from ..perf.report import Series
 from .common import (
     DEFAULT_R_SIZES_GIB,
     ExperimentResult,
     ORDERED_SIM,
-    default_partitioner,
     gib_to_tuples,
-    make_environment,
-    run_point_or_skip,
+    map_standard_points,
 )
 
 PAPER_EXPECTATION = (
@@ -41,12 +37,15 @@ def run(
     sim=ORDERED_SIM,
     index_types: Sequence[type] = ALL_INDEX_TYPES,
     include_hash_join: bool = True,
+    workers: int = 1,
 ) -> Tuple[ExperimentResult, ExperimentResult]:
     """Sweep R with partitioned lookups; returns (fig5, fig6 input).
 
     The second result holds the partitioned translation-request rate per
     index; :mod:`repro.experiments.fig6` combines it with Fig. 4's rates
-    into the elimination percentages.
+    into the elimination percentages.  ``workers > 1`` fans the
+    independent points across processes with bit-identical results (see
+    :func:`repro.experiments.common.map_standard_points`).
     """
     throughput = ExperimentResult(
         name="fig5",
@@ -62,35 +61,29 @@ def run(
     index_series = {cls: Series(cls.name) for cls in index_types}
     request_series = {cls: Series(cls.name) for cls in index_types}
     hash_series = Series("hash join")
+    tasks, labels = [], []
     for gib in r_sizes_gib:
         r_tuples = gib_to_tuples(gib)
         for index_cls in index_types:
-            def point(index_cls=index_cls):
-                env = make_environment(
-                    spec, r_tuples, index_cls=index_cls, sim=sim
-                )
-                partitioner = default_partitioner(env.column)
-                return PartitionedINLJ(env.index, partitioner).estimate(env)
-
-            cost = run_point_or_skip(
-                throughput, f"{index_cls.name} @ {gib} GiB", point
-            )
-            if cost is None:
-                continue
-            index_series[index_cls].append(gib, cost.queries_per_second)
-            request_series[index_cls].append(
-                gib, cost.counters.translation_requests_per_lookup
-            )
+            tasks.append(("partitioned", spec, r_tuples, index_cls, sim))
+            labels.append((gib, index_cls, f"{index_cls.name} @ {gib} GiB"))
         if include_hash_join:
-            def hash_point():
-                env = make_environment(spec, r_tuples, sim=sim)
-                return HashJoin(env.relation).estimate(env)
-
-            cost = run_point_or_skip(
-                throughput, f"hash join @ {gib} GiB", hash_point
-            )
-            if cost is not None:
-                hash_series.append(gib, cost.queries_per_second)
+            tasks.append(("hash", spec, r_tuples, None, sim))
+            labels.append((gib, None, f"hash join @ {gib} GiB"))
+    for (gib, index_cls, label), outcome in zip(
+        labels, map_standard_points(tasks, workers)
+    ):
+        if outcome[0] == "skip":
+            throughput.notes.append(f"{label}: skipped ({outcome[1]})")
+            continue
+        cost = outcome[1]
+        if index_cls is None:
+            hash_series.append(gib, cost.queries_per_second)
+            continue
+        index_series[index_cls].append(gib, cost.queries_per_second)
+        request_series[index_cls].append(
+            gib, cost.counters.translation_requests_per_lookup
+        )
     throughput.series = [index_series[cls] for cls in index_types]
     if include_hash_join:
         throughput.series.append(hash_series)

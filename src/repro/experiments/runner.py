@@ -17,7 +17,7 @@ import argparse
 import sys
 import time
 
-from . import claims, fig3, fig5, fig6, fig7, fig8, fig9, table1
+from . import cache, claims, fig3, fig5, fig6, fig7, fig8, fig9, table1
 from .common import DEFAULT_R_SIZES_GIB, NAIVE_SIM, ORDERED_SIM
 
 #: Reduced sweeps for --quick mode.
@@ -33,16 +33,29 @@ def run_all(
     stream=None,
     output_dir=None,
     charts: bool = False,
+    workers: int = 1,
 ) -> dict:
     """Run the named experiments (all if empty); returns results by name.
 
     ``output_dir`` additionally writes each result as CSV + JSON;
     ``charts`` appends a terminal chart under every figure's table.
     ``stream`` defaults to the *current* sys.stdout (resolved per call,
-    so redirected/captured stdout is honoured).
+    so redirected/captured stdout is honoured).  ``workers > 1`` fans the
+    standard sweeps' points across that many processes; the figures are
+    bit-identical to a serial run.
     """
     if stream is None:
         stream = sys.stdout
+    from ..perf.alloc import tune_allocator
+
+    tune_allocator()
+    with cache.session():
+        return _run_all(
+            names, quick, stream, output_dir, charts, workers
+        )
+
+
+def _run_all(names, quick, stream, output_dir, charts, workers) -> dict:
     wanted = set(names) if names else None
     results = {}
 
@@ -79,7 +92,7 @@ def run_all(
     if selected("fig3") or selected("fig4") or selected("fig6"):
         started = time.time()
         throughput, naive_requests = fig3.run(
-            r_sizes_gib=r_sizes, sim=naive_sim
+            r_sizes_gib=r_sizes, sim=naive_sim, workers=workers
         )
         results["fig3"] = throughput
         results["fig4"] = naive_requests
@@ -94,7 +107,9 @@ def run_all(
     partitioned_requests = None
     if selected("fig5") or selected("fig6"):
         started = time.time()
-        throughput, partitioned_requests = fig5.run(r_sizes_gib=r_sizes)
+        throughput, partitioned_requests = fig5.run(
+            r_sizes_gib=r_sizes, workers=workers
+        )
         results["fig5"] = throughput
         if selected("fig5"):
             emit(throughput.to_text())
@@ -164,12 +179,17 @@ def main(argv=None) -> int:
         "--charts", action="store_true",
         help="append a terminal chart under every figure",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the standard sweeps (results identical to serial)",
+    )
     args = parser.parse_args(argv)
     run_all(
         args.experiments,
         quick=args.quick,
         output_dir=args.output_dir,
         charts=args.charts,
+        workers=args.workers,
     )
     return 0
 

@@ -34,6 +34,11 @@ from ..config import DEFAULT_CONFIG, SimulationConfig
 from ..errors import ConfigurationError, SimulationError
 from ..hardware.cache import LruCache, SetAssociativeCache
 from ..hardware.counters import PerfCounters
+from ..hardware.fastlru import (
+    VectorLruCache,
+    VectorLruTlb,
+    VectorSetAssociativeCache,
+)
 from ..hardware.memory import SystemMemory
 from ..hardware.spec import SystemSpec
 from ..hardware.tlb import LruTlb
@@ -101,9 +106,18 @@ class MachineModel:
         self.sim = sim
         self.memory = SystemMemory(spec)
         gpu = spec.gpu
-        self.l1 = LruCache(gpu.l1_bytes, gpu.cacheline_bytes)
-        self.l2 = SetAssociativeCache(gpu.l2_bytes, gpu.cacheline_bytes, ways=16)
-        self.tlb = LruTlb(spec.tlb_entries)
+        if sim.fast_replay:
+            self.l1 = VectorLruCache(gpu.l1_bytes, gpu.cacheline_bytes)
+            self.l2 = VectorSetAssociativeCache(
+                gpu.l2_bytes, gpu.cacheline_bytes, ways=16
+            )
+            self.tlb = VectorLruTlb(spec.tlb_entries)
+        else:
+            self.l1 = LruCache(gpu.l1_bytes, gpu.cacheline_bytes)
+            self.l2 = SetAssociativeCache(
+                gpu.l2_bytes, gpu.cacheline_bytes, ways=16
+            )
+            self.tlb = LruTlb(spec.tlb_entries)
         if gpu.cacheline_bytes & (gpu.cacheline_bytes - 1) != 0:
             raise ConfigurationError(
                 f"cacheline size must be a power of two, got {gpu.cacheline_bytes}"
@@ -154,25 +168,25 @@ class MachineModel:
         parts = []
         for start in range(0, num_lookups, width):
             block = matrix[:, start : start + width]
-            wave_width = block.shape[1]
+            steps, wave_width = block.shape
             padded_width = -(-wave_width // warp) * warp
-            for step in range(block.shape[0]):
-                row = block[step]
-                active = row >= 0
-                issued += int(np.count_nonzero(active))
-                if not active.any():
-                    continue
-                lines = np.where(active, row >> self._line_shift, np.int64(-1))
-                if padded_width != wave_width:
-                    lines = np.concatenate(
-                        [lines, np.full(padded_width - wave_width, -1,
-                                        dtype=np.int64)]
-                    )
-                by_warp = np.sort(lines.reshape(-1, warp), axis=1)
-                first = np.ones_like(by_warp, dtype=bool)
-                first[:, 1:] = by_warp[:, 1:] != by_warp[:, :-1]
-                first &= by_warp >= 0
-                parts.append(by_warp[first])
+            active = block >= 0
+            issued += int(np.count_nonzero(active))
+            lines = np.where(active, block >> self._line_shift, np.int64(-1))
+            if padded_width != wave_width:
+                # Pad the whole wave once, not once per step.
+                padded = np.full((steps, padded_width), -1, dtype=np.int64)
+                padded[:, :wave_width] = lines
+                lines = padded
+            # Sort each warp's lanes per step; a lane whose line equals its
+            # sorted predecessor coalesces away.  Boolean extraction walks
+            # the array in C order -- (step, warp, lane) -- which is exactly
+            # the per-step append order of the reference loop.
+            by_warp = np.sort(lines.reshape(steps, -1, warp), axis=2)
+            first = np.ones_like(by_warp, dtype=bool)
+            first[:, :, 1:] = by_warp[:, :, 1:] != by_warp[:, :, :-1]
+            first &= by_warp >= 0
+            parts.append(by_warp[first])
         if not parts:
             return np.empty(0, dtype=np.int64), issued
         return np.concatenate(parts), issued
@@ -211,18 +225,27 @@ class MachineModel:
         page_line_shift = self._page_shift - self._line_shift
         l2 = self.l2
         tlb = self.tlb
-        l2_hits = 0
-        remote = 0
         tlb_misses = 0
         cold_before = self.tlb.cold_misses
-        lines = stream.tolist()
-        for line in lines:
-            if l2.access(line):
-                l2_hits += 1
-                continue
-            remote += 1
-            if simulate_tlb and not tlb.access(line >> page_line_shift):
-                tlb_misses += 1
+        if isinstance(l2, VectorSetAssociativeCache):
+            # Fast path: whole-stream batch replay, no per-line Python loop.
+            l2_hit_mask = l2.access_batch(stream)
+            l2_hits = int(np.count_nonzero(l2_hit_mask))
+            remote = len(stream) - l2_hits
+            if simulate_tlb and remote:
+                pages = stream[~l2_hit_mask] >> page_line_shift
+                tlb_hit_mask = tlb.access_batch(pages)
+                tlb_misses = remote - int(np.count_nonzero(tlb_hit_mask))
+        else:
+            l2_hits = 0
+            remote = 0
+            for line in stream.tolist():
+                if l2.access(line):
+                    l2_hits += 1
+                    continue
+                remote += 1
+                if simulate_tlb and not tlb.access(line >> page_line_shift):
+                    tlb_misses += 1
         counters.l1_hits = float(issued - len(stream))
         counters.l2_hits = float(l2_hits)
         counters.remote_accesses = float(remote)

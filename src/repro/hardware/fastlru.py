@@ -1,0 +1,756 @@
+"""Vectorized cache/TLB models (the fast replay engine).
+
+The reference models in :mod:`repro.hardware.cache` and
+:mod:`repro.hardware.tlb` replay one line per Python call -- faithful but
+slow when a figure sweeps millions of coalesced transactions.  This module
+re-implements the same three policies with numpy batch kernels:
+
+* :class:`VectorLruCache` -- fully associative LRU.  Processes a stream in
+  chunks of at most ``min(capacity, 8192)`` accesses.  Within a chunk every
+  re-access is a guaranteed hit (a chunk is shorter than the capacity, so
+  nothing evicts between two touches of the same key), and accesses to
+  pre-chunk residents hit iff ``depth + new_distinct_before < capacity`` --
+  a stack-distance test resolved with two cumulative bounds and an exact
+  dominance count for the few accesses that land between the bounds.
+* :class:`VectorSetAssociativeCache` -- set-associative LRU.  Transactions
+  are grouped per set; short sub-streams replay column-by-column against a
+  ``(sets, ways)`` timestamp register file (each Python-level step retires
+  one transaction for *every* active set at once), long low-diversity ones
+  take a first-occurrence shortcut, and long high-diversity ones are
+  concatenated into one shared stack-distance kernel
+  (:meth:`~VectorSetAssociativeCache._replay_windows`).
+* :class:`VectorLruTlb` -- :class:`VectorLruCache` plus first-touch (cold
+  miss) tracking, mirroring :class:`repro.hardware.tlb.LruTlb`.
+
+Exactness is the contract, not an aspiration: every model produces the
+same per-access hit/miss outcomes, the same eviction order, and the same
+counters as its ``OrderedDict`` reference on any stream (see
+``tests/hardware/test_fast_models.py``).  The scalar ``access`` API is kept
+for drop-in compatibility; the batch APIs are what the executor's fast
+path uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Chunk length for the fully-associative models.  Must not exceed the
+#: capacity (the free-hit argument above needs it).  4096 balances the
+#: per-chunk numpy call overhead against the in-chunk ambiguity band,
+#: which grows superlinearly with the chunk length (measured fastest on
+#: the standard sweeps among 1k-16k).
+_CHUNK = 4096
+
+#: Position bits packed next to a key when stable-sorting ``(key, pos)``
+#: pairs as one int64.  Bounds the batch length one packed sort can cover.
+_POS_BITS = 21
+_POS_CAP = 1 << _POS_BITS
+
+#: Sorts below every valid way timestamp (those are >= -1): selects a
+#: matching way ahead of the LRU way in the column machine's fused pick.
+_MATCH_RANK = np.int64(-(2**62))
+
+#: Set sub-streams at least this long get the low-diversity fast path
+#: (see ``VectorSetAssociativeCache._replay_hot_segment``).
+_HOT_SEGMENT = 512
+
+#: Set sub-streams at least this long that are *not* low-diversity are
+#: replayed with the lag-window stack-distance kernel rather than the
+#: column machine, which would otherwise degenerate to one near-empty
+#: column per transaction.
+_WINDOW_SEGMENT = 512
+
+
+def _dense_ids(keys: np.ndarray, extra: np.ndarray):
+    """Rank-compress ``extra + keys`` into dense ids with one packed sort.
+
+    Returns ``(key_ids, extra_ids, id_to_key)`` where ids index
+    ``id_to_key``.  Avoids ``np.unique`` (mergesort) by packing the
+    position into the low bits and using the default sort.
+    """
+    both = np.concatenate([extra, keys]) if len(extra) else keys
+    n = len(both)
+    if n == 0:
+        empty = np.empty(0, np.int64)
+        return empty, empty, empty
+    packed = np.sort((both << _POS_BITS) | np.arange(n, dtype=np.int64))
+    skey = packed >> _POS_BITS
+    spos = packed & (_POS_CAP - 1)
+    new_group = np.ones(n, bool)
+    new_group[1:] = skey[1:] != skey[:-1]
+    gid = np.cumsum(new_group, dtype=np.int64) - 1
+    ids = np.empty(n, np.int64)
+    ids[spos] = gid
+    id_to_key = skey[new_group]
+    return ids[len(extra):], ids[: len(extra)], id_to_key
+
+
+def _segment_distinct(
+    k_keys: np.ndarray,
+    starts: np.ndarray,
+    seg_len: np.ndarray,
+    segs: np.ndarray,
+) -> np.ndarray:
+    """Distinct-line count of each chosen segment, in one packed sort.
+
+    Works on the set-grouped stream: a line maps to exactly one set, so
+    grouping the chosen segments' values globally by line is grouping
+    them per segment.
+    """
+    lens = seg_len[segs]
+    off = np.zeros(len(segs) + 1, np.int64)
+    np.cumsum(lens, out=off[1:])
+    total = int(off[-1])
+    sid = np.repeat(np.arange(len(segs)), lens)
+    idx = np.arange(total) + np.repeat(starts[segs] - off[:-1], lens)
+    packed = np.sort(
+        (k_keys[idx] << _POS_BITS) | np.arange(total, dtype=np.int64)
+    )
+    pk = packed >> _POS_BITS
+    group_start = np.ones(total, bool)
+    group_start[1:] = pk[1:] != pk[:-1]
+    first_pos = (packed & (_POS_CAP - 1))[group_start]
+    return np.bincount(sid[first_pos], minlength=len(segs))
+
+
+class VectorLruCache:
+    """Fully associative LRU over line numbers, batch-vectorized.
+
+    Interface-compatible with :class:`repro.hardware.cache.LruCache`; adds
+    :meth:`access_batch` and :meth:`resident_lines`.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {capacity_bytes}"
+            )
+        if line_bytes <= 0:
+            raise ConfigurationError(
+                f"line size must be positive, got {line_bytes}"
+            )
+        if capacity_bytes < line_bytes:
+            raise ConfigurationError(
+                f"cache capacity {capacity_bytes} smaller than one line "
+                f"({line_bytes})"
+            )
+        self.capacity_lines = capacity_bytes // line_bytes
+        self.line_bytes = line_bytes
+        self._stack = np.empty(0, np.int64)  # resident keys, MRU first
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._stack = np.empty(0, np.int64)
+        self.hits = 0
+        self.misses = 0
+
+    # -- batch path ----------------------------------------------------
+
+    def access_batch(self, lines: np.ndarray) -> np.ndarray:
+        """Touch a stream of lines; returns the per-access hit mask."""
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = len(lines)
+        if n == 0:
+            return np.zeros(0, bool)
+        hit_mask = np.empty(n, bool)
+        limit = _POS_CAP - self.capacity_lines - 1
+        for lo in range(0, n, limit):
+            batch = lines[lo : lo + limit]
+            keys, stack_ids, id_to_key = _dense_ids(batch, self._stack)
+            hits, stack = _lru_replay(
+                keys, self.capacity_lines, stack_ids, len(id_to_key)
+            )
+            self._stack = id_to_key[stack]
+            hit_mask[lo : lo + limit] = hits
+        nhit = int(np.count_nonzero(hit_mask))
+        self.hits += nhit
+        self.misses += n - nhit
+        return hit_mask
+
+    # -- scalar compatibility ------------------------------------------
+
+    def access(self, line: int) -> bool:
+        """Touch one line; returns True on a hit, inserting on a miss."""
+        return bool(self.access_batch(np.array([line], np.int64))[0])
+
+    def contains(self, line: int) -> bool:
+        """Whether a line is resident, without touching LRU state."""
+        return bool(np.any(self._stack == line))
+
+    def resident_lines(self) -> np.ndarray:
+        """Resident lines in LRU-to-MRU order (OrderedDict iteration order)."""
+        return self._stack[::-1].copy()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._stack)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+def _lru_replay(keys: np.ndarray, capacity: int, stack: np.ndarray, umax: int):
+    """Exact LRU replay over dense non-negative ids.
+
+    ``stack`` holds the resident ids, most recent first.  Returns the hit
+    mask and the updated stack.  See the module docstring for the
+    stack-distance argument behind the chunked evaluation.
+    """
+    n = len(keys)
+    T = min(capacity, _CHUNK)
+    hits = np.zeros(n, bool)
+    depth_map = np.full(umax, -1, np.int32)
+    for lo in range(0, n, T):
+        k = keys[lo : lo + T]
+        t = len(k)
+        depth_map[stack] = np.arange(len(stack), dtype=np.int32)
+        packed = np.sort((k << 14) | np.arange(t, dtype=np.int64))
+        pk = packed >> 14
+        ppos = packed & 0x3FFF
+        group_start = np.ones(t, bool)
+        group_start[1:] = pk[1:] != pk[:-1]
+        first = np.zeros(t, bool)
+        first[ppos] = group_start          # first in-chunk touch, time order
+        hits[lo + np.nonzero(~first)[0]] = True   # re-touches always hit
+        fk = k[first]
+        fpos = np.nonzero(first)[0]
+        delta = depth_map[fk].astype(np.int64)    # -1 = not resident
+        absent = delta < 0
+        resident = ~absent
+        # Exclusive running counts over first-occurrences, time order:
+        # f = all first-occurrences so far (upper bound on sinkage),
+        # g = absent first-occurrences so far (lower bound on sinkage).
+        f_excl = np.arange(len(fk), dtype=np.int64)
+        g_excl = np.cumsum(absent, dtype=np.int64) - absent
+        free_hit = resident & (delta + f_excl < capacity)
+        certain_miss = absent | (delta + g_excl >= capacity)
+        ambiguous = ~(free_hit | certain_miss)
+        first_hit = free_hit
+        n_amb = int(np.count_nonzero(ambiguous))
+        if n_amb:
+            # Exact sinkage: of the f_excl first-occurrences before the
+            # query, those touching a shallower resident do not push it
+            # down -- count them (a 2-D dominance count: src_t < qt and
+            # src_d <= qd) and subtract.  The count is evaluated blocked:
+            # residents are split into 64-wide time blocks whose depths
+            # are sorted once (all blocks in a single flat sort, keyed by
+            # block * (capacity + 1) + depth), full blocks answer with one
+            # batched searchsorted, and each query's partial block is a
+            # 64-element masked compare -- O((A + R) log) instead of the
+            # A x R broadcast.
+            src_t = f_excl[resident]            # strictly increasing
+            src_d = delta[resident]
+            qt = f_excl[ambiguous]
+            qd = delta[ambiguous]
+            L = 64
+            num_blocks = -(-len(src_d) // L)
+            span = capacity + 1                 # depths < capacity; pad = capacity
+            padded = np.full(num_blocks * L, capacity, np.int64)
+            padded[: len(src_d)] = src_d
+            block_of = np.repeat(
+                np.arange(num_blocks, dtype=np.int64), L
+            )
+            flat = np.sort(block_of * span + padded)
+            eligible = np.searchsorted(src_t, qt, side="left")
+            full_blocks = eligible // L
+            remainder = eligible - full_blocks * L
+            q_keys = (
+                np.arange(num_blocks, dtype=np.int64)[:, None] * span
+                + qd[None, :]
+            )
+            per_block = np.searchsorted(
+                flat, q_keys.reshape(-1), side="right"
+            ).reshape(num_blocks, n_amb)
+            per_block -= np.arange(num_blocks, dtype=np.int64)[:, None] * L
+            cumulative = np.zeros((num_blocks + 1, n_amb), np.int64)
+            np.cumsum(per_block, axis=0, out=cumulative[1:])
+            shallower = cumulative[full_blocks, np.arange(n_amb)]
+            lane = np.arange(L, dtype=np.int64)
+            window = np.minimum(
+                full_blocks[:, None] * L + lane[None, :],
+                num_blocks * L - 1,
+            )
+            shallower += (
+                (padded[window] <= qd[:, None])
+                & (lane[None, :] < remainder[:, None])
+            ).sum(axis=1)
+            first_hit = free_hit.copy()
+            first_hit[ambiguous] = qd + qt - shallower < capacity
+        hits[lo + fpos[first_hit]] = True
+        # New stack: chunk keys by last touch (newest first), then the
+        # untouched old residents in their old order, capped at capacity.
+        # (LRU inclusion: the content is always the capacity most recently
+        # used distinct keys, whatever evictions happened mid-chunk.)
+        group_last = np.ones(t, bool)
+        group_last[:-1] = pk[1:] != pk[:-1]
+        last_pos = np.sort(ppos[group_last])[::-1]
+        depth_map[stack] = -1              # clear for the next chunk
+        untouched = np.ones(len(stack), bool)
+        untouched[delta[resident]] = False
+        stack = np.concatenate([k[last_pos], stack[untouched]])[:capacity]
+    return hits, stack
+
+
+class VectorSetAssociativeCache:
+    """Set-associative LRU over line numbers, batch-vectorized.
+
+    Interface-compatible with
+    :class:`repro.hardware.cache.SetAssociativeCache`.  State lives in a
+    ``(sets, ways)`` pair of arrays: the resident line per way and the
+    timestamp of its last touch; eviction picks the stalest way, which is
+    exactly LRU.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int, ways: int = 16):
+        if ways <= 0:
+            raise ConfigurationError(f"ways must be positive, got {ways}")
+        if capacity_bytes <= 0 or line_bytes <= 0:
+            raise ConfigurationError(
+                "capacity and line size must be positive, got "
+                f"{capacity_bytes} / {line_bytes}"
+            )
+        capacity_lines = capacity_bytes // line_bytes
+        if capacity_lines < ways:
+            raise ConfigurationError(
+                f"capacity of {capacity_lines} lines cannot hold {ways} ways"
+            )
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = max(1, capacity_lines // ways)
+        self._tags = np.full((self.num_sets, ways), -1, np.int64)
+        self._ts = np.full((self.num_sets, ways), -1, np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._tags.fill(-1)
+        self._ts.fill(-1)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access_batch(self, lines: np.ndarray) -> np.ndarray:
+        """Touch a stream of lines; returns the per-access hit mask."""
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        n = len(lines)
+        if n == 0:
+            return np.zeros(0, bool)
+        hit_mask = np.empty(n, bool)
+        for lo in range(0, n, _POS_CAP):
+            batch = lines[lo : lo + _POS_CAP]
+            hit_mask[lo : lo + _POS_CAP] = self._replay(batch)
+        nhit = int(np.count_nonzero(hit_mask))
+        self.hits += nhit
+        self.misses += n - nhit
+        return hit_mask
+
+    def _replay(self, lines: np.ndarray) -> np.ndarray:
+        n = len(lines)
+        sets = lines % self.num_sets
+        # Group transactions per set (stable by position), keeping each
+        # set's sub-stream in arrival order.
+        order = np.sort((sets << _POS_BITS) | np.arange(n, dtype=np.int64))
+        pos = order & (_POS_CAP - 1)
+        sval = order >> _POS_BITS
+        skeys = lines[pos]
+        seg_start = np.ones(n, bool)
+        seg_start[1:] = sval[1:] != sval[:-1]
+        hits = np.zeros(n, bool)
+        # A repeat of the set's previous line is a guaranteed hit on the
+        # MRU way and leaves the LRU order unchanged -- drop it up front.
+        rerun = np.zeros(n, bool)
+        rerun[1:] = (~seg_start[1:]) & (skeys[1:] == skeys[:-1])
+        hits[pos[rerun]] = True
+        keep = ~rerun
+        k_keys = skeys[keep]
+        k_pos = pos[keep]
+        m = len(k_keys)
+        if m == 0:
+            return hits
+        k_start = seg_start[keep]
+        starts = np.nonzero(k_start)[0]
+        seg_sets = sval[keep][k_start]
+        seg_len = np.diff(np.append(starts, m))
+        out_hit = np.empty(m, bool)
+        # Long segments leave the column machine, which would spin one
+        # near-empty column per transaction for them.  Low-diversity ones
+        # (index upper levels: few cachelines whose power-of-two strides
+        # alias into a handful of sets) take the hot path; the rest are
+        # batched into one multi-segment stack-distance kernel.
+        columnar = np.ones(len(seg_len), bool)
+        long_segs = np.nonzero(seg_len >= _HOT_SEGMENT)[0]
+        if len(long_segs):
+            distinct = _segment_distinct(k_keys, starts, seg_len, long_segs)
+            for seg in long_segs[distinct <= self.ways].tolist():
+                lo = starts[seg]
+                sub = k_keys[lo : lo + seg_len[seg]]
+                self._replay_hot_segment(int(seg_sets[seg]), sub, out_hit, lo)
+                columnar[seg] = False
+            windowed = long_segs[
+                (distinct > self.ways)
+                & (seg_len[long_segs] >= _WINDOW_SEGMENT)
+            ]
+            if len(windowed):
+                self._replay_windows(
+                    k_keys,
+                    starts[windowed],
+                    seg_len[windowed],
+                    seg_sets[windowed],
+                    out_hit,
+                )
+                columnar[windowed] = False
+        # Longest set first: the sets still active at column c are then a
+        # prefix, so each column step slices instead of gathers.
+        by_len = np.argsort(-np.where(columnar, seg_len, 0), kind="stable")
+        by_len = by_len[: int(np.count_nonzero(columnar))]
+        row_sets = seg_sets[by_len]
+        row_len = seg_len[by_len]
+        row_start = starts[by_len]
+        max_cols = int(row_len[0]) if len(row_len) else 0
+        tags = self._tags[row_sets]
+        ts = self._ts[row_sets]
+        rows = np.arange(len(row_sets))
+        neg_len = -row_len
+        for c in range(max_cols):
+            active = int(np.searchsorted(neg_len, -(c + 1), side="right"))
+            idx = row_start[:active] + c
+            v = k_keys[idx]
+            eq = tags[:active] == v[:, None]
+            # One fused way pick: a matching way outranks every timestamp
+            # (hits refresh their way), otherwise the stalest way loses.
+            way = np.where(eq, _MATCH_RANK, ts[:active]).argmin(axis=1)
+            r = rows[:active]
+            hit = eq[r, way]
+            tags[r, way] = v
+            ts[r, way] = self._clock + c
+            out_hit[idx] = hit
+        if len(row_sets):
+            self._tags[row_sets] = tags
+            self._ts[row_sets] = ts
+        self._clock += max(max_cols, self.ways)
+        hits[k_pos] = out_hit
+        return hits
+
+    def _replay_hot_segment(
+        self, set_index: int, sub: np.ndarray, out_hit: np.ndarray, lo: int
+    ) -> bool:
+        """Exactly replay one set's long sub-stream, if it is low-diversity.
+
+        Returns False (segment not handled) when the sub-stream touches
+        more than ``ways`` distinct lines.  Otherwise every access past a
+        line's first occurrence is a guaranteed hit (at most ``ways``
+        distinct lines means nothing touched this batch is ever evicted),
+        so only the first occurrences -- at most ``ways`` of them -- go
+        through a sequential LRU replay against the set's prior state.
+        """
+        t = len(sub)
+        packed = np.sort((sub << _POS_BITS) | np.arange(t, dtype=np.int64))
+        pk = packed >> _POS_BITS
+        group_start = np.ones(t, bool)
+        group_start[1:] = pk[1:] != pk[:-1]
+        if int(np.count_nonzero(group_start)) > self.ways:
+            return False
+        ppos = packed & (_POS_CAP - 1)
+        first_pos = np.sort(ppos[group_start])
+        group_last = np.ones(t, bool)
+        group_last[:-1] = pk[1:] != pk[:-1]
+        last_pos = np.sort(ppos[group_last])
+        seg_hits = np.ones(t, bool)
+        # Sequential replay of the <= ways first occurrences.
+        tags = self._tags[set_index]
+        ts = self._ts[set_index]
+        valid = tags >= 0
+        state = OrderedDict(
+            (int(line), None)
+            for line in tags[valid][np.argsort(ts[valid], kind="stable")]
+        )
+        for p in first_pos.tolist():
+            line = int(sub[p])
+            if line in state:
+                state.move_to_end(line)
+            else:
+                seg_hits[p] = False
+                if len(state) >= self.ways:
+                    state.popitem(last=False)
+                state[line] = None
+        # Refresh recency to the batch's last-touch order.
+        for p in last_pos.tolist():
+            state.move_to_end(int(sub[p]))
+        out_hit[lo : lo + t] = seg_hits
+        self._store_set_state(set_index, state)
+        return True
+
+    def _replay_windows(
+        self,
+        k_keys: np.ndarray,
+        w_starts: np.ndarray,
+        w_lens: np.ndarray,
+        w_sets: np.ndarray,
+        out_hit: np.ndarray,
+    ) -> None:
+        """Exactly replay many sets' long, high-diversity sub-streams.
+
+        Stack-distance formulation: within one LRU set of ``ways`` lines
+        an access hits iff fewer than ``ways`` distinct lines were touched
+        since its previous occurrence.  That count is
+        ``d(i) = #{j in (prev(i), i) : prev(j) <= prev(i)}`` -- a window
+        position counts iff it is the window's first touch of its line.
+
+        All segments are concatenated (each prefixed by its set's prior
+        residents as pseudo-accesses, so carried state needs no special
+        casing) and resolved by shared lag passes: a line maps to exactly
+        one set, so previous-occurrence windows never cross a segment
+        boundary, and one pass serves every segment at once.  Lag passes
+        are tiered: most accesses resolve within ``2*ways`` lags; only
+        the segments still holding unresolved accesses pay the deep tier,
+        and the few accesses even that leaves fall back to a bounded
+        backward walk.
+        """
+        ways = self.ways
+        num = len(w_sets)
+        row_tags = self._tags[w_sets]
+        row_ts = self._ts[w_sets]
+        by_age = np.argsort(row_ts, axis=1)  # invalid (-1) first, then LRU->MRU
+        aged_tags = np.take_along_axis(row_tags, by_age, axis=1)
+        p = (row_tags >= 0).sum(axis=1)
+        out_len = p + w_lens
+        seg_off = np.zeros(num + 1, np.int64)
+        np.cumsum(out_len, out=seg_off[1:])
+        total = int(seg_off[-1])
+        seg_id = np.repeat(np.arange(num), out_len)
+        local = np.arange(total) - seg_off[seg_id]
+        is_pref = local < p[seg_id]
+        s = np.empty(total, np.int64)
+        pref_seg = seg_id[is_pref]
+        s[is_pref] = aged_tags[pref_seg, ways - p[pref_seg] + local[is_pref]]
+        sub_seg = seg_id[~is_pref]
+        sub_local = local[~is_pref] - p[sub_seg]
+        s[~is_pref] = k_keys[w_starts[sub_seg] + sub_local]
+        hit, todo, pv, pk, ppos = self._window_pass(s)
+        for i in np.nonzero(todo)[0].tolist():
+            seen = set()
+            bottom = pv[i]
+            j = i - 1
+            while j > bottom and len(seen) < ways:
+                seen.add(int(s[j]))
+                j -= 1
+            hit[i] = len(seen) < ways
+        out_hit[w_starts[sub_seg] + sub_local] = hit[~is_pref]
+        # New state per set: the ways most recently used distinct lines.
+        group_last = np.ones(total, bool)
+        group_last[:-1] = pk[1:] != pk[:-1]
+        last_pos = np.sort(ppos[group_last])  # ascending = segment-grouped
+        lp_seg = seg_id[last_pos]
+        counts = np.bincount(lp_seg, minlength=num)
+        ends = np.cumsum(counts)
+        rank = np.arange(len(last_pos)) - (ends - counts)[lp_seg]
+        from_end = counts[lp_seg] - 1 - rank
+        keep = from_end < ways
+        rows = w_sets[lp_seg[keep]]
+        self._tags[w_sets] = -1
+        self._ts[w_sets] = -1
+        self._tags[rows, from_end[keep]] = s[last_pos[keep]]
+        self._ts[rows, from_end[keep]] = self._clock + rank[keep]
+        self._clock += total
+
+    def _window_pass(self, s: np.ndarray):
+        """Lag-pass stack-distance resolution over a concatenated stream.
+
+        Dense tier: lags up to ``2 * ways`` accumulate d for every
+        position with full-array passes.  Sparse tier: the positions
+        still unresolved -- typically few, since ``2 * ways`` lags drive
+        most big-window accesses past the miss threshold -- continue up
+        to ``16 * ways`` lags with gathers over just those positions,
+        retiring each as soon as its window is covered (exact) or its
+        count reaches ``ways`` (certain miss).
+
+        Returns ``(hit, todo, pv, pk, ppos)``: the per-position hit mask,
+        the positions neither tier resolved, previous-occurrence
+        positions, and the packed sort's key/position arrays (reused by
+        the caller for last-touch extraction).
+        """
+        length = len(s)
+        pos_bits = 22  # one more than _POS_BITS: prefixes extend a batch
+        packed = np.sort((s << pos_bits) | np.arange(length, dtype=np.int64))
+        pk = packed >> pos_bits
+        ppos = packed & ((1 << pos_bits) - 1)
+        same = np.zeros(length, bool)
+        same[1:] = pk[1:] == pk[:-1]
+        pv = np.full(length, -1, np.int64)
+        pv[ppos[1:][same[1:]]] = ppos[:-1][same[1:]]
+        window = np.arange(length, dtype=np.int64) - pv - 1
+        window[pv < 0] = np.iinfo(np.int64).max
+        hit = np.zeros(length, bool)
+        ways = self.ways
+        # Short window: fewer accesses than ways, nothing evicted -> hit.
+        hit[(pv >= 0) & (window < ways)] = True
+        todo = (pv >= 0) & (window >= ways)
+        d = np.zeros(length, np.int64)
+        lag = 0
+        stop = min(2 * ways, length - 1)
+        while lag < stop:
+            lag += 1
+            # Position i-lag contributes to d(i) iff it lies inside the
+            # window and is the window's first touch of its line.
+            d[lag:] += (window[lag:] >= lag) & (pv[: length - lag] <= pv[lag:])
+        exact = todo & (window <= lag)
+        hit[exact] = d[exact] < ways
+        todo &= (window > lag) & (d < ways)
+        q = np.nonzero(todo)[0]
+        deep_stop = min(16 * ways, length - 1)
+        dq, wq, pq = d[q], window[q], pv[q]
+        while lag < deep_stop and len(q):
+            lag += 1
+            covered = wq >= lag
+            back = np.maximum(q - lag, 0)
+            dq += covered & (pv[back] <= pq)
+            done = (wq <= lag) | (dq >= ways)
+            if done.any():
+                hit[q[done]] = dq[done] < ways
+                live = ~done
+                q, dq, wq, pq = q[live], dq[live], wq[live], pq[live]
+        todo = np.zeros(length, bool)
+        todo[q] = True
+        return hit, todo, pv, pk, ppos
+
+    def _store_set_state(self, set_index: int, state: "OrderedDict") -> None:
+        """Write one set's LRU-ordered content back into the register file."""
+        tags = self._tags[set_index]
+        ts = self._ts[set_index]
+        tags.fill(-1)
+        ts.fill(-1)
+        resident = np.fromiter(state, dtype=np.int64)
+        tags[: len(resident)] = resident
+        ts[: len(resident)] = self._clock + np.arange(len(resident))
+        return None
+
+    # -- scalar compatibility ------------------------------------------
+
+    def access(self, line: int) -> bool:
+        """Touch one line; returns True on a hit, inserting on a miss."""
+        return bool(self.access_batch(np.array([line], np.int64))[0])
+
+    def access_sequence(self, lines: Iterable[int]) -> int:
+        """Touch a sequence of lines; returns the number of misses."""
+        arr = np.fromiter(lines, dtype=np.int64)
+        before = self.misses
+        self.access_batch(arr)
+        return self.misses - before
+
+    def contains(self, line: int) -> bool:
+        """Whether a line is resident, without touching LRU state."""
+        return bool(np.any(self._tags[int(line) % self.num_sets] == line))
+
+    def resident_lines(self, set_index: int) -> np.ndarray:
+        """One set's resident lines in LRU-to-MRU order."""
+        tags = self._tags[set_index]
+        ts = self._ts[set_index]
+        valid = tags >= 0
+        return tags[valid][np.argsort(ts[valid], kind="stable")]
+
+    @property
+    def occupancy(self) -> int:
+        return int(np.count_nonzero(self._tags >= 0))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class VectorLruTlb:
+    """Exact LRU TLB with cold-miss tracking, batch-vectorized.
+
+    Interface-compatible with :class:`repro.hardware.tlb.LruTlb`.
+    """
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ConfigurationError(
+                f"TLB must have a positive number of entries, got {entries}"
+            )
+        self.entries = entries
+        self._cache = VectorLruCache(entries, 1)
+        self._seen = np.empty(0, np.int64)  # every page ever touched, sorted
+        self.cold_misses = 0
+
+    def reset(self) -> None:
+        self._cache.reset()
+        self._seen = np.empty(0, np.int64)
+        self.cold_misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
+
+    def access_batch(self, pages: np.ndarray) -> np.ndarray:
+        """Touch a stream of pages; returns the per-access hit mask."""
+        pages = np.ascontiguousarray(pages, dtype=np.int64)
+        if len(pages) == 0:
+            return np.zeros(0, bool)
+        ordered = np.sort(pages)  # np.unique's mergesort is far slower
+        distinct = np.ones(len(ordered), bool)
+        distinct[1:] = ordered[1:] != ordered[:-1]
+        candidates = ordered[distinct]
+        slot = np.searchsorted(self._seen, candidates)
+        known = np.zeros(len(candidates), bool)
+        inside = slot < len(self._seen)
+        known[inside] = self._seen[slot[inside]] == candidates[inside]
+        fresh = candidates[~known]
+        if len(fresh):
+            self.cold_misses += len(fresh)
+            merged = np.empty(len(self._seen) + len(fresh), np.int64)
+            at = slot[~known] + np.arange(len(fresh))
+            merged[at] = fresh
+            keep = np.ones(len(merged), bool)
+            keep[at] = False
+            merged[keep] = self._seen
+            self._seen = merged
+        return self._cache.access_batch(pages)
+
+    def access(self, page: int) -> bool:
+        """Touch one page; returns True on a TLB hit."""
+        return bool(self.access_batch(np.array([page], np.int64))[0])
+
+    def access_sequence(self, pages: Iterable[int]) -> int:
+        """Touch a sequence of pages; returns the number of misses."""
+        arr = np.fromiter(pages, dtype=np.int64)
+        before = self.misses
+        self.access_batch(arr)
+        return self.misses - before
+
+    def contains(self, page: int) -> bool:
+        """Whether a translation is cached, without touching LRU state."""
+        return self._cache.contains(page)
+
+    def resident_pages(self) -> np.ndarray:
+        """Cached translations in LRU-to-MRU order."""
+        return self._cache.resident_lines()
+
+    @property
+    def occupancy(self) -> int:
+        return self._cache.occupancy
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.misses / total

@@ -157,6 +157,40 @@ class HarmoniaIndex(Index):
         keys = self.column.key_at(safe.reshape(-1)).reshape(safe.shape)
         return np.where(exists, keys, _MAX_KEY)
 
+    def _node_child_counts(
+        self, level: int, nodes: np.ndarray, keys: np.ndarray
+    ) -> np.ndarray:
+        """Per lane: how many of its node's keys are <= the probe.
+
+        Equivalent to ``(self._node_keys_matrix(level, nodes) <=
+        keys[:, None]).sum(axis=1)`` without materializing the
+        (lanes, node_keys) matrix: node keys are nondecreasing (strictly
+        increasing while backed by data, MAX-padded past it), so a
+        vectorized binary search over the key slots gathers
+        ``log2(node_keys)`` keys per lane instead of ``node_keys``.
+        """
+        child_coverage = (
+            self.level_coverage[level + 1]
+            if level + 1 < len(self.level_sizes)
+            else 1
+        )
+        n = len(self.column)
+        node_first = nodes * self.node_keys
+        lo = np.zeros(len(nodes), dtype=np.int64)
+        hi = np.full(len(nodes), self.node_keys, dtype=np.int64)
+        active = lo < hi
+        while active.any():
+            mid = (lo + hi) >> 1
+            positions = (node_first + mid) * child_coverage
+            exists = active & (positions < n)
+            slot_keys = self.column.key_at(np.where(exists, positions, 0))
+            mid_keys = np.where(exists, slot_keys, _MAX_KEY)
+            go_right = active & (mid_keys <= keys)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+            active = lo < hi
+        return lo
+
     # ------------------------------------------------------------------
     # Traversal.
     # ------------------------------------------------------------------
@@ -187,10 +221,9 @@ class HarmoniaIndex(Index):
                     (self.level_offsets[level] + nodes) * _CHILD_ENTRY_BYTES
                 )
                 recorder.record(child_base)
-            node_key_matrix = self._node_keys_matrix(level, nodes)
             # child = (number of node keys <= probe) - 1; key 0 is the
             # subtree minimum, so the count is >= 1 for in-range probes.
-            counts = (node_key_matrix <= keys[:, None]).sum(axis=1)
+            counts = self._node_child_counts(level, nodes, keys)
             child = np.maximum(counts - 1, 0).astype(np.int64)
             if level + 1 < len(self.level_sizes):
                 nodes = nodes * self.fanout + child

@@ -192,6 +192,8 @@ class RadixSplineIndex(Index):
                 else "greedy"
             )
         self.fit = fit
+        #: Non-None selects the implicit (grid-positioned) spline.
+        self._uniform_interval = None
         if fit == "greedy":
             if not isinstance(self.column, MaterializedColumn):
                 raise ConfigurationError(
@@ -212,9 +214,25 @@ class RadixSplineIndex(Index):
             )
         else:
             interval = min(uniform_interval, max(2, len(self.column)))
-            self.spline_keys, self.spline_positions, measured_error = (
-                uniform_spline(self.column, interval)
-            )
+            if isinstance(self.column, VirtualSortedColumn):
+                # Implicit spline: points lie on a fixed position grid, so
+                # the (key, position) arrays -- hundreds of MB at 111 GiB
+                # -- are never materialized.  Gathers go through
+                # ``column.key_at`` on demand (see _spline_key_at), which
+                # keeps build time and resident memory proportional to the
+                # radix table instead of the spline.
+                self._uniform_interval = interval
+                n = len(self.column)
+                base_points = -(-n // interval)
+                aligned = interval * (base_points - 1) == n - 1
+                self._num_points = base_points if aligned else base_points + 1
+                self.spline_keys = None
+                self.spline_positions = None
+                measured_error = max(1, self.column.hint_error_bound())
+            else:
+                self.spline_keys, self.spline_positions, measured_error = (
+                    uniform_spline(self.column, interval)
+                )
             # Report the configured bound, not the (possibly smaller)
             # measured one: a real spline over data this size would search
             # a +-max_error window, and the access pattern should match.
@@ -228,23 +246,72 @@ class RadixSplineIndex(Index):
     # Radix table.
     # ------------------------------------------------------------------
 
+    def _spline_position_at(self, indices: np.ndarray) -> np.ndarray:
+        """Column position of each spline point (vectorized)."""
+        if self._uniform_interval is not None:
+            return np.minimum(
+                np.asarray(indices, dtype=np.int64) * self._uniform_interval,
+                len(self.column) - 1,
+            )
+        return self.spline_positions[indices]
+
+    def _spline_key_at(self, indices: np.ndarray) -> np.ndarray:
+        """Key of each spline point; implicit splines gather on demand."""
+        if self._uniform_interval is not None:
+            return self.column.key_at(self._spline_position_at(indices))
+        return self.spline_keys[indices]
+
     def _build_radix_table(self) -> None:
-        min_key = int(self.spline_keys[0])
-        max_key = int(self.spline_keys[-1])
+        num_points = self.num_spline_points
+        ends = self._spline_key_at(np.asarray([0, num_points - 1]))
+        min_key = int(ends[0])
+        max_key = int(ends[1])
         span_bits = max(1, (max_key - min_key + 1).bit_length())
         self._min_key = min_key
+        self._max_spline_key = max_key
         self._shift = max(0, span_bits - self.radix_bits)
         num_slots = ((max_key - min_key) >> self._shift) + 2
-        prefixes = (
-            (self.spline_keys.astype(np.int64) - min_key) >> self._shift
-        )
+        slots = np.arange(num_slots, dtype=np.int64)
         # table[p] = index of the first spline point with prefix >= p.
-        self.radix_table = np.searchsorted(
-            prefixes, np.arange(num_slots, dtype=np.int64), side="left"
-        ).astype(np.int64)
+        if self._uniform_interval is None:
+            prefixes = (
+                (self.spline_keys.astype(np.int64) - min_key) >> self._shift
+            )
+            self.radix_table = np.searchsorted(
+                prefixes, slots, side="left"
+            ).astype(np.int64)
+            return
+        # Implicit spline: prefixes are nondecreasing in the spline index,
+        # so a coarse prefix sample narrows every slot to a small window
+        # and a vectorized binary search finishes exactly -- identical to
+        # the searchsorted above without materializing all spline keys.
+        coarse = 64
+        coarse_prefixes = (
+            self._spline_key_at(
+                np.arange(0, num_points, coarse, dtype=np.int64)
+            ).astype(np.int64)
+            - min_key
+        ) >> self._shift
+        block = np.searchsorted(coarse_prefixes, slots, side="left")
+        hi = np.minimum(block * coarse, num_points)
+        lo = np.maximum((block - 1) * coarse + 1, 0)
+        active = lo < hi
+        while active.any():
+            mid = (lo + hi) >> 1
+            prefix = (
+                self._spline_key_at(np.where(active, mid, 0)).astype(np.int64)
+                - min_key
+            ) >> self._shift
+            go_left = active & (prefix >= slots)
+            hi = np.where(go_left, mid, hi)
+            lo = np.where(active & ~go_left, mid + 1, lo)
+            active = lo < hi
+        self.radix_table = lo.astype(np.int64)
 
     @property
     def num_spline_points(self) -> int:
+        if self._uniform_interval is not None:
+            return self._num_points
         return len(self.spline_keys)
 
     @property
@@ -290,7 +357,7 @@ class RadixSplineIndex(Index):
         clipped = np.clip(
             keys.astype(np.int64) - self._min_key,
             0,
-            int(self.spline_keys[-1]) - self._min_key,
+            self._max_spline_key - self._min_key,
         )
         prefixes = (clipped >> self._shift).astype(np.int64)
         if recorder is not None:
@@ -316,7 +383,7 @@ class RadixSplineIndex(Index):
                     self._spline_allocation.base + mid * _SPLINE_POINT_BYTES,
                     active=active,
                 )
-            mid_keys = self.spline_keys[np.where(active, mid, 0)]
+            mid_keys = self._spline_key_at(np.where(active, mid, 0))
             go_right = active & (mid_keys < keys)
             lo = np.where(go_right, mid + 1, lo)
             hi = np.where(active & ~go_right, mid, hi)
@@ -329,10 +396,10 @@ class RadixSplineIndex(Index):
                 self._spline_allocation.base + lower * _SPLINE_POINT_BYTES
             )
         # 3. Interpolate.
-        key_low = self.spline_keys[lower].astype(np.float64)
-        key_high = self.spline_keys[upper].astype(np.float64)
-        pos_low = self.spline_positions[lower].astype(np.float64)
-        pos_high = self.spline_positions[upper].astype(np.float64)
+        key_low = self._spline_key_at(lower).astype(np.float64)
+        key_high = self._spline_key_at(upper).astype(np.float64)
+        pos_low = self._spline_position_at(lower).astype(np.float64)
+        pos_high = self._spline_position_at(upper).astype(np.float64)
         span = np.maximum(key_high - key_low, 1.0)
         predicted = pos_low + (
             keys.astype(np.float64) - key_low

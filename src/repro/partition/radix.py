@@ -73,14 +73,31 @@ class RadixPartitioner:
         ).astype(np.int64)
         offsets = np.zeros(self.bits.num_partitions + 1, dtype=np.int64)
         np.cumsum(histogram, out=offsets[1:])
-        # Stable scatter: within a partition, original order is preserved
-        # (the linear allocator hands out slots in arrival order).
-        order = np.argsort(partitions, kind="stable")
+        order = self._stable_order(partitions, len(keys))
         return PartitionOutput(
             keys=keys[order],
             source_indices=source_indices[order],
             offsets=offsets,
         )
+
+    def _stable_order(self, partitions: np.ndarray, n: int) -> np.ndarray:
+        """Stable scatter order: within a partition, arrival order holds
+        (the linear allocator hands out slots in arrival order).
+
+        Packs (partition id, position) into one int64 per tuple and sorts
+        that -- a single primitive-type sort, an order of magnitude faster
+        than the general stable ``argsort`` it replaces.  Falls back to
+        the argsort when id and position bits cannot share 63 bits.
+        """
+        id_bits = max(1, int(self.bits.num_partitions - 1).bit_length())
+        pos_bits = max(1, (n - 1).bit_length())
+        if id_bits + pos_bits > 63:
+            return np.argsort(partitions, kind="stable")
+        packed = partitions.astype(np.int64) << pos_bits
+        packed |= np.arange(n, dtype=np.int64)
+        packed.sort()
+        packed &= (np.int64(1) << pos_bits) - np.int64(1)
+        return packed
 
     # ------------------------------------------------------------------
     # Cost model.

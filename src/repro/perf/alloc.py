@@ -1,0 +1,44 @@
+"""Allocator tuning for the vectorized replay engine.
+
+The batched replay kernels allocate and free large short-lived numpy
+temporaries.  glibc serves big allocations with ``mmap`` and returns them
+to the kernel on free, so every reuse pays page-fault and zeroing costs
+again -- on the benchmark sweeps this kernel time exceeds the actual
+compute.  Raising the mmap/trim thresholds keeps those buffers on the
+heap, where they are reused without re-faulting (peak RSS is unchanged;
+the same buffers just stay mapped between uses).
+
+Called by the experiment runner, ``repro bench``, and the benchmark
+harness; a no-op on platforms without glibc ``mallopt``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+
+_M_TRIM_THRESHOLD = -1
+_M_MMAP_THRESHOLD = -3
+
+_applied = False
+
+
+def tune_allocator(threshold_bytes: int = 2**30) -> bool:
+    """Keep allocations below ``threshold_bytes`` heap-resident.
+
+    Returns True when the thresholds were applied (glibc only); safe to
+    call repeatedly.
+    """
+    global _applied
+    if _applied:
+        return True
+    try:
+        name = ctypes.util.find_library("c") or "libc.so.6"
+        libc = ctypes.CDLL(name, use_errno=True)
+        mallopt = libc.mallopt
+    except (OSError, AttributeError):
+        return False
+    ok = bool(mallopt(_M_TRIM_THRESHOLD, ctypes.c_int(threshold_bytes)))
+    ok = bool(mallopt(_M_MMAP_THRESHOLD, ctypes.c_int(threshold_bytes))) and ok
+    _applied = ok
+    return ok

@@ -110,6 +110,36 @@ class TestLocality:
     count=st.integers(min_value=0, max_value=500),
     seed=st.integers(min_value=0, max_value=2**31),
 )
+def test_stable_order_matches_argsort(shift, bits, count, seed):
+    """The packed-sort scatter equals the stable argsort it replaced."""
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**40, size=count).astype(np.uint64)
+    partitioner = RadixPartitioner(PartitionBits(shift=shift, bits=bits))
+    partitions = partitioner.bits.partition_of(keys)
+    order = partitioner._stable_order(partitions, len(keys))
+    assert np.array_equal(order, np.argsort(partitions, kind="stable"))
+
+
+def test_stable_order_wide_id_fallback(rng):
+    """When id + position bits exceed an int64, the argsort path is used
+    and still yields a stable order."""
+    import types
+
+    partitioner = RadixPartitioner(
+        types.SimpleNamespace(num_partitions=2**60)
+    )
+    partitions = rng.integers(0, 2**31, size=200).astype(np.uint64)
+    order = partitioner._stable_order(partitions, len(partitions))
+    assert np.array_equal(order, np.argsort(partitions, kind="stable"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shift=st.integers(min_value=0, max_value=12),
+    bits=st.integers(min_value=1, max_value=10),
+    count=st.integers(min_value=0, max_value=500),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
 def test_partition_properties(shift, bits, count, seed):
     """Multiset preserved, ids sorted, offsets == histogram -- always."""
     rng = np.random.default_rng(seed)
