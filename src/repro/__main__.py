@@ -18,6 +18,7 @@ import sys
 
 from . import __version__
 from .data.generator import WorkloadConfig
+from .errors import ConfigurationError
 from .engine.planner import QueryPlanner
 from .hardware.spec import A100_PCIE4, GH200_C2C, MI250X_IF3, V100_NVLINK2
 from .indexes import ALL_INDEX_TYPES, EXTENSION_INDEX_TYPES
@@ -56,10 +57,17 @@ def cmd_info(_args) -> int:
 
 
 def cmd_experiments(args) -> int:
-    from .experiments.runner import run_all
+    from .experiments.runner import policy_from_args, run_report
 
-    run_all(args.names, quick=args.quick, workers=args.workers)
-    return 0
+    report = run_report(
+        args.names,
+        quick=args.quick,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        policy=policy_from_args(args),
+    )
+    return report.exit_code()
 
 
 def cmd_bench(args) -> int:
@@ -109,6 +117,9 @@ def main(argv=None) -> int:
         "--workers", type=int, default=1,
         help="processes for the standard sweeps (results identical to serial)",
     )
+    from .experiments.runner import add_resilience_arguments
+
+    add_resilience_arguments(experiments)
 
     bench = subparsers.add_parser(
         "bench", help="time the standard sweeps and write a JSON report"
@@ -141,14 +152,19 @@ def main(argv=None) -> int:
     )
 
     args = parser.parse_args(argv)
-    if args.command == "info":
-        return cmd_info(args)
-    if args.command == "experiments":
-        return cmd_experiments(args)
-    if args.command == "bench":
-        return cmd_bench(args)
-    if args.command == "plan":
-        return cmd_plan(args)
+    try:
+        if args.command == "info":
+            return cmd_info(args)
+        if args.command == "experiments":
+            return cmd_experiments(args)
+        if args.command == "bench":
+            return cmd_bench(args)
+        if args.command == "plan":
+            return cmd_plan(args)
+    except ConfigurationError as error:
+        # Bad flags (e.g. --workers 0) are usage errors, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     parser.print_help()
     return 1
 

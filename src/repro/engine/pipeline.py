@@ -25,6 +25,7 @@ from ..errors import ConfigurationError, WorkloadError
 from ..indexes.base import Index
 from ..join.base import JoinResult
 from ..partition.radix import RadixPartitioner
+from ..resilience import faults
 from ..units import KEY_BYTES
 
 
@@ -225,16 +226,28 @@ class Pipeline:
             raise ConfigurationError("a pipeline needs at least one operator")
 
     def run(self) -> JoinResult:
-        """Pull every batch through; returns the sink's join result."""
+        """Pull every batch through; returns the sink's join result.
+
+        The sink is validated *before* any batch is pulled: a pipeline
+        missing its :class:`MaterializeOperator` fails immediately
+        instead of streaming the whole input and then raising.
+        """
+        sink = self.operators[-1]
+        if not isinstance(sink, MaterializeOperator):
+            raise ConfigurationError(
+                "the last operator must be a MaterializeOperator"
+            )
         stream: Iterator[TupleBatch] = iter(())
         for operator in self.operators:
             stream = operator.process(stream)
         for __ in stream:
-            pass
-        sink = self.operators[-1]
-        if not isinstance(sink, MaterializeOperator) or sink.result is None:
+            # Fault-injection site: a ``*@batch`` plan can raise or stall
+            # mid-stream, exercising pipeline-level recovery in tests.
+            faults.check("batch", type(sink).__name__)
+        if sink.result is None:
             raise ConfigurationError(
-                "the last operator must be a MaterializeOperator"
+                "the materialize sink produced no result; was the "
+                "pipeline's stream exhausted before reaching it?"
             )
         return sink.result
 

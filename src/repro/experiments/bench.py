@@ -21,7 +21,9 @@ from typing import Optional, Sequence
 
 from ..config import SimulationConfig
 from ..perf.alloc import tune_allocator
+from ..resilience.retry import active_policy
 from . import cache, fig3, fig5
+from .common import validate_workers
 
 #: R sizes (GiB) the benchmark sweeps -- a spread around the paper's
 #: 32 GiB TLB-range knee plus the 111 GiB endpoint.
@@ -97,12 +99,19 @@ def run_bench(
     ``tests/hardware/test_fast_models.py`` asserts exact counter
     equality), so the speedup compares like with like.
     """
+    validate_workers(workers)
+    policy = active_policy()
     payload = {
         "benchmark": "repro-sweeps",
         "r_sizes_gib": list(r_sizes_gib),
         "probe_samples": {
             "naive": BENCH_NAIVE_SIM.probe_sample,
             "ordered": BENCH_ORDERED_SIM.probe_sample,
+        },
+        "resilience": {
+            "max_attempts": policy.max_attempts,
+            "point_timeout": policy.point_timeout,
+            "max_pool_restarts": policy.max_pool_restarts,
         },
         "platform": platform.platform(),
         "python": platform.python_version(),

@@ -8,6 +8,7 @@ the whole query.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
@@ -18,12 +19,16 @@ from ..config import (
 )
 from ..data.column import Column
 from ..data.generator import WorkloadConfig
-from ..errors import CapacityError, ConfigurationError
+from ..errors import CapacityError, ConfigurationError, SweepExecutionError
 from ..hardware.spec import SystemSpec, V100_NVLINK2
 from ..join.base import QueryEnvironment
 from ..partition.bits import choose_partition_bits
 from ..partition.radix import RadixPartitioner
 from ..perf.report import Series, format_series_table
+from ..resilience import checkpoint as checkpoint_mod
+from ..resilience import faults
+from ..resilience import retry as retry_mod
+from ..resilience.retry import RetryPolicy, with_retry
 from ..units import GIB, KEY_BYTES
 from . import cache
 
@@ -142,6 +147,13 @@ def run_point_or_skip(result: ExperimentResult, label: str, func) -> Optional[fl
 PointTask = Tuple[str, SystemSpec, int, Optional[Type], SimulationConfig]
 
 
+def task_label(task: PointTask) -> str:
+    """Short human/fault-matchable name for one sweep point."""
+    kind, _spec, r_tuples, index_cls, _sim = task
+    index_name = index_cls.__name__ if index_cls is not None else "none"
+    return f"{kind}:{index_name}:{r_tuples}"
+
+
 def run_standard_point(task: PointTask):
     """Simulate one sweep point; returns ``("ok", cost) | ("skip", msg)``.
 
@@ -151,8 +163,15 @@ def run_standard_point(task: PointTask):
     alone.  Points are memoized through the session cache under a key
     built only from the task, so identical (index, R size, sample
     config) points simulate once across figures.
+
+    A fault-injection check precedes the computation: with a
+    ``*@point`` plan installed (see :mod:`repro.resilience.faults`) this
+    is where injected raises, hangs, and worker crashes happen -- in
+    exactly the process (serial parent or pool worker) executing the
+    point, which is what makes every recovery path reachable from tests.
     """
     kind, spec, r_tuples, index_cls, sim = task
+    faults.check("point", task_label(task))
 
     def compute():
         if kind == "inlj":
@@ -180,25 +199,219 @@ def run_standard_point(task: PointTask):
     return ("ok", cost)
 
 
-def map_standard_points(tasks: Sequence[PointTask], workers: int = 1) -> list:
-    """Run sweep points serially or across ``workers`` processes.
+def validate_workers(workers) -> int:
+    """Reject nonsense ``--workers`` values before they reach a pool."""
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ConfigurationError(
+            f"workers must be an integer, got {workers!r}"
+        )
+    if workers < 1:
+        raise ConfigurationError(
+            f"workers must be >= 1, got {workers} "
+            "(1 = serial, N = N sweep processes)"
+        )
+    return workers
 
-    Results come back in task order either way, and each point is
-    computed by :func:`run_standard_point` either way, so serial and
-    parallel runs produce bit-identical figures.  Worker processes each
-    hold their own session cache; the merged results are re-inserted
-    into the parent's cache so later figures still get their hits.
+
+#: Diagnostics from the most recent :func:`map_standard_points` call in
+#: this process: resumed/computed point counts, retries, pool restarts,
+#: and whether the sweep degraded to serial.  Read by tests and by the
+#: runner's failure reports; never consulted for control flow.
+LAST_SWEEP: dict = {}
+
+
+def _reset_sweep_stats(total: int) -> dict:
+    LAST_SWEEP.clear()
+    LAST_SWEEP.update(
+        {
+            "points": total,
+            "resumed": 0,
+            "computed": 0,
+            "requeued": 0,
+            "pool_restarts": 0,
+            "degraded": False,
+        }
+    )
+    return LAST_SWEEP
+
+
+def _merge_into_cache(task: PointTask, outcome) -> None:
+    """Re-insert a worker/checkpoint result into this process's cache."""
+    if outcome[0] == "ok":
+        cache.point(
+            ("standard-point",) + tuple(task),
+            lambda value=outcome[1]: value,
+        )
+
+
+def _record(checkpoint, fingerprints, index, outcome) -> None:
+    if checkpoint is not None:
+        checkpoint.record(fingerprints[index], outcome)
+
+
+def _init_worker() -> None:
+    """Pool-worker initializer: fault counters restart from zero."""
+    faults.reset_for_worker()
+
+
+def _run_serial(tasks, indices, results, policy, checkpoint, fingerprints):
+    """Serial execution with retry; used directly and as the fallback."""
+    for index in indices:
+        outcome = with_retry(
+            lambda task=tasks[index]: run_standard_point(task),
+            policy,
+            label=task_label(tasks[index]),
+        )
+        results[index] = outcome
+        LAST_SWEEP["computed"] += 1
+        _record(checkpoint, fingerprints, index, outcome)
+
+
+def _run_pooled(tasks, pending, results, workers, policy, checkpoint,
+                fingerprints):
+    """Fan pending points across a pool, surviving crashes and hangs.
+
+    Every point is submitted individually and collected with a per-point
+    timeout, so a worker crash (its result never arrives) and a wedged
+    worker (ditto) look the same: a lost point.  Lost points are
+    requeued into a fresh pool -- the old one is terminated, which also
+    reaps wedged processes -- and after ``policy.max_pool_restarts``
+    rebuilds the sweep degrades gracefully to serial execution for
+    whatever is left.  Points that *raise* are retried up to
+    ``policy.max_attempts`` with backoff; a point that exhausts its
+    budget fails the sweep with :class:`SweepExecutionError` (the runner
+    isolates that per experiment).
     """
-    if workers is None or workers <= 1 or len(tasks) <= 1:
-        return [run_standard_point(task) for task in tasks]
     import multiprocessing
 
-    with multiprocessing.Pool(min(workers, len(tasks))) as pool:
-        outcomes = pool.map(run_standard_point, list(tasks))
-    for task, outcome in zip(tasks, outcomes):
-        if outcome[0] == "ok":
-            cache.point(
-                ("standard-point",) + tuple(task),
-                lambda value=outcome[1]: value,
+    attempts = {index: 0 for index in pending}
+    restarts = 0
+    while pending:
+        pool = multiprocessing.Pool(
+            min(workers, len(pending)), initializer=_init_worker
+        )
+        lost = False
+        requeue = []
+        try:
+            handles = [
+                (index, pool.apply_async(run_standard_point, (tasks[index],)))
+                for index in pending
+            ]
+            for index, handle in handles:
+                label = task_label(tasks[index])
+                try:
+                    outcome = handle.get(policy.point_timeout)
+                except multiprocessing.TimeoutError:
+                    # Crash or hang: the result will never arrive.
+                    lost = True
+                    attempts[index] += 1
+                    requeue.append(index)
+                    LAST_SWEEP["requeued"] += 1
+                except (CapacityError, ConfigurationError):
+                    raise  # non-retryable; bubble to the experiment
+                except Exception as error:
+                    attempts[index] += 1
+                    if attempts[index] >= policy.max_attempts:
+                        raise SweepExecutionError(
+                            f"{label} failed after {attempts[index]} "
+                            f"attempts: {type(error).__name__}: {error}"
+                        ) from error
+                    requeue.append(index)
+                    LAST_SWEEP["requeued"] += 1
+                    time.sleep(policy.backoff(attempts[index], label))
+                else:
+                    results[index] = outcome
+                    LAST_SWEEP["computed"] += 1
+                    _merge_into_cache(tasks[index], outcome)
+                    _record(checkpoint, fingerprints, index, outcome)
+        finally:
+            # terminate (not close): reaps wedged/crashed workers too.
+            pool.terminate()
+            pool.join()
+        pending = requeue
+        if lost and pending:
+            restarts += 1
+            LAST_SWEEP["pool_restarts"] = restarts
+            if restarts > policy.max_pool_restarts:
+                # The pool keeps dying: finish the remaining points
+                # serially rather than flail (injected crash faults are
+                # inert in the parent process by design).
+                LAST_SWEEP["degraded"] = True
+                _run_serial(
+                    tasks, pending, results, policy, checkpoint, fingerprints
+                )
+                return
+
+
+def map_standard_points(
+    tasks: Sequence[PointTask],
+    workers: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[checkpoint_mod.SweepCheckpoint] = None,
+    resume: Optional[bool] = None,
+) -> list:
+    """Run sweep points resiliently, serially or across processes.
+
+    Results come back in task order either way, and each point is
+    computed by :func:`run_standard_point` either way, so serial,
+    parallel, retried, requeued, and resumed runs all produce
+    bit-identical figures.  Worker processes each hold their own session
+    cache; merged results are re-inserted into the parent's cache so
+    later figures still get their hits.
+
+    Resilience (see :mod:`repro.resilience`):
+
+    * failing points retry with exponential backoff + deterministic
+      jitter (``policy``, default :meth:`RetryPolicy.from_env`);
+    * pooled points carry a timeout; a crashed or wedged worker shows up
+      as a lost point, which is requeued into a fresh pool, and repeated
+      pool deaths degrade the sweep to serial execution;
+    * with a checkpoint active (explicit argument, the runner's
+      ``--checkpoint-dir``, or ``REPRO_CHECKPOINT_DIR``), completed
+      points append to a JSONL file keyed by the task list's config
+      hash, and a resumed run recomputes only the missing points.
+
+    ``resume`` overrides the checkpoint's resume mode only when a
+    checkpoint is constructed here (it is ignored for an explicitly
+    passed instance, which already chose its mode).
+    """
+    tasks = list(tasks)
+    if workers is not None:
+        validate_workers(workers)
+    if policy is None:
+        policy = retry_mod.active_policy()
+    stats = _reset_sweep_stats(len(tasks))
+    if checkpoint is None:
+        checkpoint = checkpoint_mod.for_tasks(tasks)
+        if checkpoint is not None and resume is False:
+            checkpoint = checkpoint_mod.SweepCheckpoint(
+                checkpoint.path, resume=False
             )
-    return outcomes
+    fingerprints = (
+        [checkpoint_mod.fingerprint(task) for task in tasks]
+        if checkpoint is not None
+        else None
+    )
+
+    results: list = [None] * len(tasks)
+    pending = []
+    for index, task in enumerate(tasks):
+        stored = (
+            checkpoint.get(fingerprints[index])
+            if checkpoint is not None
+            else None
+        )
+        if stored is not None:
+            results[index] = stored
+            stats["resumed"] += 1
+            _merge_into_cache(task, stored)
+        else:
+            pending.append(index)
+
+    if workers is None or workers <= 1 or len(pending) <= 1:
+        _run_serial(tasks, pending, results, policy, checkpoint, fingerprints)
+    else:
+        _run_pooled(
+            tasks, pending, results, workers, policy, checkpoint, fingerprints
+        )
+    return results

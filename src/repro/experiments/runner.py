@@ -9,6 +9,15 @@ Usage::
 The output is the text the benchmark harness and EXPERIMENTS.md are built
 from: one figure-shaped table per experiment, with the paper's expectation
 attached.
+
+Failure isolation: each experiment runs inside a guard.  An experiment
+that raises is captured as a structured
+:class:`~repro.resilience.report.ExperimentFailure` (exception,
+traceback, elapsed time, sweep points completed), every *other*
+experiment still runs, and the run ends with a failure summary and -- via
+the CLI -- a nonzero exit code.  Checkpointing (``--checkpoint-dir`` /
+``--resume``) lets a killed run pick up where it stopped, recomputing
+only the missing sweep points.
 """
 
 from __future__ import annotations
@@ -17,7 +26,13 @@ import argparse
 import sys
 import time
 
-from . import cache, claims, fig3, fig5, fig6, fig7, fig8, fig9, table1
+from ..errors import ConfigurationError
+from ..resilience import checkpoint as checkpoint_mod
+from ..resilience import faults
+from ..resilience.report import ExperimentFailure, RunReport
+from ..resilience import retry as retry_mod
+from ..resilience.retry import RetryPolicy
+from . import cache, claims, common, fig3, fig5, fig6, fig7, fig8, fig9, table1
 from .common import DEFAULT_R_SIZES_GIB, NAIVE_SIM, ORDERED_SIM
 
 #: Reduced sweeps for --quick mode.
@@ -27,6 +42,47 @@ QUICK_THETAS = (0.0, 0.5, 1.0, 1.5, 1.75)
 QUICK_NAIVE_SIM = NAIVE_SIM.with_sample(2**15)
 
 
+def run_report(
+    names,
+    quick: bool = False,
+    stream=None,
+    output_dir=None,
+    charts: bool = False,
+    workers: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
+    policy: RetryPolicy = None,
+) -> RunReport:
+    """Run the named experiments (all if empty); returns a RunReport.
+
+    ``output_dir`` additionally writes each result as CSV + JSON;
+    ``charts`` appends a terminal chart under every figure's table.
+    ``stream`` defaults to the *current* sys.stdout (resolved per call,
+    so redirected/captured stdout is honoured).  ``workers > 1`` fans the
+    standard sweeps' points across that many processes; the figures are
+    bit-identical to a serial run.  ``checkpoint_dir`` persists completed
+    sweep points; with ``resume`` a rerun skips the points already on
+    disk (still bit-identical).  ``policy`` tunes retry/timeout behavior
+    for the sweeps (default: :meth:`RetryPolicy.from_env`).
+    """
+    if stream is None:
+        stream = sys.stdout
+    common.validate_workers(workers)
+    from ..perf.alloc import tune_allocator
+
+    tune_allocator()
+    report = RunReport()
+    with cache.session(), checkpoint_mod.configured(
+        checkpoint_dir, resume=resume
+    ), retry_mod.configured(policy):
+        _run_all(names, quick, stream, output_dir, charts, workers, report)
+    summary = report.summary_text()
+    if summary:
+        stream.write(summary + "\n")
+        stream.flush()
+    return report
+
+
 def run_all(
     names,
     quick: bool = False,
@@ -34,30 +90,27 @@ def run_all(
     output_dir=None,
     charts: bool = False,
     workers: int = 1,
+    checkpoint_dir=None,
+    resume: bool = False,
+    policy: RetryPolicy = None,
 ) -> dict:
-    """Run the named experiments (all if empty); returns results by name.
-
-    ``output_dir`` additionally writes each result as CSV + JSON;
-    ``charts`` appends a terminal chart under every figure's table.
-    ``stream`` defaults to the *current* sys.stdout (resolved per call,
-    so redirected/captured stdout is honoured).  ``workers > 1`` fans the
-    standard sweeps' points across that many processes; the figures are
-    bit-identical to a serial run.
-    """
-    if stream is None:
-        stream = sys.stdout
-    from ..perf.alloc import tune_allocator
-
-    tune_allocator()
-    with cache.session():
-        return _run_all(
-            names, quick, stream, output_dir, charts, workers
-        )
+    """Backward-compatible wrapper: results by name (see :func:`run_report`)."""
+    return run_report(
+        names,
+        quick=quick,
+        stream=stream,
+        output_dir=output_dir,
+        charts=charts,
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        policy=policy,
+    ).results
 
 
-def _run_all(names, quick, stream, output_dir, charts, workers) -> dict:
+def _run_all(names, quick, stream, output_dir, charts, workers, report):
     wanted = set(names) if names else None
-    results = {}
+    results = report.results
 
     def selected(name: str) -> bool:
         return wanted is None or name in wanted
@@ -65,6 +118,43 @@ def _run_all(names, quick, stream, output_dir, charts, workers) -> dict:
     def emit(text: str) -> None:
         stream.write(text + "\n\n")
         stream.flush()
+
+    def guarded(name: str, func):
+        """Run one experiment in isolation; capture any failure.
+
+        Returns the experiment's value, or None when it failed (the
+        failure lands in the report and the remaining experiments still
+        run).  The ``experiment`` fault-injection site fires here, so
+        tests can force any single experiment to fail by name.
+        """
+        started = time.time()
+        sweep_before = dict(common.LAST_SWEEP)
+        try:
+            faults.check("experiment", name)
+            return func()
+        except Exception as error:  # isolated: the run continues
+            # Only attribute sweep progress to this failure if this
+            # experiment actually advanced a sweep.
+            completed = (
+                common.LAST_SWEEP.get("computed")
+                if common.LAST_SWEEP != sweep_before
+                else None
+            )
+            report.failures.append(
+                ExperimentFailure.from_exception(
+                    name,
+                    "experiment",
+                    error,
+                    started,
+                    points_completed=completed,
+                )
+            )
+            emit(
+                f"  [{name} FAILED after {time.time() - started:.1f}s: "
+                f"{type(error).__name__}: {error}; continuing -- see "
+                "failure summary]"
+            )
+            return None
 
     def finish(result) -> None:
         if output_dir is not None:
@@ -74,91 +164,166 @@ def _run_all(names, quick, stream, output_dir, charts, workers) -> dict:
         if charts:
             from ..perf.charts import chart_experiment
 
+            started = time.time()
             try:
                 emit(chart_experiment(result))
-            except Exception as error:  # charts are best-effort output
-                emit(f"  [chart skipped: {error}]")
+            except Exception as error:
+                # Charts are best-effort output, but their failures are
+                # real bugs: keep the run alive, record the full
+                # traceback in the failure report instead of swallowing
+                # it into a one-liner.
+                report.failures.append(
+                    ExperimentFailure.from_exception(
+                        f"{result.name} chart",
+                        "chart",
+                        error,
+                        started,
+                        fatal=False,
+                    )
+                )
+                emit(
+                    f"  [chart for {result.name} failed: "
+                    f"{type(error).__name__}: {error}; traceback in "
+                    "failure summary]"
+                )
 
     r_sizes = QUICK_R_SIZES if quick else DEFAULT_R_SIZES_GIB
     naive_sim = QUICK_NAIVE_SIM if quick else NAIVE_SIM
 
     if selected("table1"):
         started = time.time()
-        results["table1"] = table1.run()
-        emit(results["table1"])
-        emit(f"  [table1 took {time.time() - started:.1f}s]")
+        value = guarded("table1", table1.run)
+        if value is not None:
+            results["table1"] = value
+            emit(value)
+            emit(f"  [table1 took {time.time() - started:.1f}s]")
 
     naive_requests = None
     if selected("fig3") or selected("fig4") or selected("fig6"):
         started = time.time()
-        throughput, naive_requests = fig3.run(
-            r_sizes_gib=r_sizes, sim=naive_sim, workers=workers
+        value = guarded(
+            "fig3+fig4",
+            lambda: fig3.run(r_sizes_gib=r_sizes, sim=naive_sim, workers=workers),
         )
-        results["fig3"] = throughput
-        results["fig4"] = naive_requests
-        if selected("fig3"):
-            emit(throughput.to_text())
-            finish(throughput)
-        if selected("fig4"):
-            emit(naive_requests.to_text(y_format="{:.2f}"))
-            finish(naive_requests)
-        emit(f"  [fig3+fig4 took {time.time() - started:.1f}s]")
+        if value is not None:
+            throughput, naive_requests = value
+            results["fig3"] = throughput
+            results["fig4"] = naive_requests
+            if selected("fig3"):
+                emit(throughput.to_text())
+                finish(throughput)
+            if selected("fig4"):
+                emit(naive_requests.to_text(y_format="{:.2f}"))
+                finish(naive_requests)
+            emit(f"  [fig3+fig4 took {time.time() - started:.1f}s]")
 
     partitioned_requests = None
     if selected("fig5") or selected("fig6"):
         started = time.time()
-        throughput, partitioned_requests = fig5.run(
-            r_sizes_gib=r_sizes, workers=workers
+        value = guarded(
+            "fig5",
+            lambda: fig5.run(r_sizes_gib=r_sizes, workers=workers),
         )
-        results["fig5"] = throughput
-        if selected("fig5"):
-            emit(throughput.to_text())
-            finish(throughput)
-        emit(f"  [fig5 took {time.time() - started:.1f}s]")
+        if value is not None:
+            throughput, partitioned_requests = value
+            results["fig5"] = throughput
+            if selected("fig5"):
+                emit(throughput.to_text())
+                finish(throughput)
+            emit(f"  [fig5 took {time.time() - started:.1f}s]")
 
     if selected("fig6"):
         started = time.time()
-        results["fig6"] = fig6.run(
-            r_sizes_gib=r_sizes,
-            naive_requests=naive_requests,
-            partitioned_requests=partitioned_requests,
+        value = guarded(
+            "fig6",
+            lambda: fig6.run(
+                r_sizes_gib=r_sizes,
+                naive_requests=naive_requests,
+                partitioned_requests=partitioned_requests,
+            ),
         )
-        emit(results["fig6"].to_text(y_format="{:.2f}"))
-        finish(results["fig6"])
-        emit(f"  [fig6 took {time.time() - started:.1f}s]")
+        if value is not None:
+            results["fig6"] = value
+            emit(value.to_text(y_format="{:.2f}"))
+            finish(value)
+            emit(f"  [fig6 took {time.time() - started:.1f}s]")
 
     if selected("fig7"):
         started = time.time()
         windows = QUICK_WINDOWS if quick else fig7.DEFAULT_WINDOW_TUPLES
-        results["fig7"] = fig7.run(window_tuples=windows)
-        emit(results["fig7"].to_text())
-        finish(results["fig7"])
-        emit(f"  [fig7 took {time.time() - started:.1f}s]")
+        value = guarded("fig7", lambda: fig7.run(window_tuples=windows))
+        if value is not None:
+            results["fig7"] = value
+            emit(value.to_text())
+            finish(value)
+            emit(f"  [fig7 took {time.time() - started:.1f}s]")
 
     if selected("fig8"):
         started = time.time()
         thetas = QUICK_THETAS if quick else fig8.DEFAULT_THETAS
-        results["fig8"] = fig8.run(thetas=thetas)
-        emit(results["fig8"].to_text())
-        finish(results["fig8"])
-        emit(f"  [fig8 took {time.time() - started:.1f}s]")
+        value = guarded("fig8", lambda: fig8.run(thetas=thetas))
+        if value is not None:
+            results["fig8"] = value
+            emit(value.to_text())
+            finish(value)
+            emit(f"  [fig8 took {time.time() - started:.1f}s]")
 
     if selected("fig9"):
         started = time.time()
-        results["fig9"] = fig9.run()
-        emit(results["fig9"].to_text())
-        finish(results["fig9"])
-        emit(f"  [fig9 took {time.time() - started:.1f}s]")
+        value = guarded("fig9", fig9.run)
+        if value is not None:
+            results["fig9"] = value
+            emit(value.to_text())
+            finish(value)
+            emit(f"  [fig9 took {time.time() - started:.1f}s]")
 
     if selected("claims"):
         started = time.time()
-        measured = claims.run()
-        results["claims"] = measured
-        for claim in measured:
-            emit(claim.to_text())
-        emit(f"  [claims took {time.time() - started:.1f}s]")
+        measured = guarded("claims", claims.run)
+        if measured is not None:
+            results["claims"] = measured
+            for claim in measured:
+                emit(claim.to_text())
+            emit(f"  [claims took {time.time() - started:.1f}s]")
 
-    return results
+
+def add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared retry/timeout/checkpoint CLI flags."""
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempts per sweep point (default 3, or REPRO_RETRIES)",
+    )
+    parser.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="seconds before a pooled sweep point is declared lost and "
+             "requeued (default 300, or REPRO_POINT_TIMEOUT; 0 disables)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="append completed sweep points to JSONL checkpoints in DIR",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint-dir (or REPRO_CHECKPOINT_DIR): skip sweep "
+             "points already checkpointed, recomputing only the missing ones",
+    )
+
+
+def policy_from_args(args) -> RetryPolicy:
+    """A :class:`RetryPolicy` from parsed CLI flags over env defaults."""
+    policy = RetryPolicy.from_env()
+    overrides = {}
+    if getattr(args, "retries", None) is not None:
+        overrides["max_attempts"] = args.retries
+    if getattr(args, "point_timeout", None) is not None:
+        overrides["point_timeout"] = (
+            args.point_timeout if args.point_timeout > 0 else None
+        )
+    if overrides:
+        from dataclasses import replace
+
+        policy = replace(policy, **overrides)
+    return policy
 
 
 def main(argv=None) -> int:
@@ -183,15 +348,23 @@ def main(argv=None) -> int:
         "--workers", type=int, default=1,
         help="processes for the standard sweeps (results identical to serial)",
     )
+    add_resilience_arguments(parser)
     args = parser.parse_args(argv)
-    run_all(
-        args.experiments,
-        quick=args.quick,
-        output_dir=args.output_dir,
-        charts=args.charts,
-        workers=args.workers,
-    )
-    return 0
+    try:
+        report = run_report(
+            args.experiments,
+            quick=args.quick,
+            output_dir=args.output_dir,
+            charts=args.charts,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            policy=policy_from_args(args),
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return report.exit_code()
 
 
 if __name__ == "__main__":

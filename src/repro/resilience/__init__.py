@@ -1,0 +1,39 @@
+"""Resilience layer: fault injection, retries, checkpoints, failure reports.
+
+Long sweeps must survive what long sweeps hit: a point that raises, a
+worker that dies, a worker that wedges, a run that gets killed halfway.
+The submodules each own one concern and the experiment stack composes
+them:
+
+* :mod:`~repro.resilience.faults` -- deterministic, seeded fault
+  injection (``REPRO_FAULTS``) so every failure path is testable;
+* :mod:`~repro.resilience.retry` -- :class:`RetryPolicy`, exponential
+  backoff with deterministic jitter, per-point timeouts;
+* :mod:`~repro.resilience.checkpoint` -- append-only JSONL sweep
+  checkpoints keyed by config hash (``--resume``);
+* :mod:`~repro.resilience.report` -- :class:`ExperimentFailure` /
+  :class:`RunReport`, the runner's structured failure summary.
+
+The invariant threaded through all of it: recovery never changes
+figures.  Retried, requeued, degraded-to-serial, and resumed runs all
+produce bit-identical output to a clean serial run.
+"""
+
+from . import checkpoint, faults, report, retry
+from .checkpoint import SweepCheckpoint
+from .faults import FaultPlan
+from .report import ExperimentFailure, RunReport
+from .retry import RetryPolicy, with_retry
+
+__all__ = [
+    "checkpoint",
+    "faults",
+    "report",
+    "retry",
+    "FaultPlan",
+    "SweepCheckpoint",
+    "ExperimentFailure",
+    "RunReport",
+    "RetryPolicy",
+    "with_retry",
+]

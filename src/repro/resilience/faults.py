@@ -1,0 +1,265 @@
+"""Deterministic, seeded fault injection for the experiment stack.
+
+Long-running sweeps die in practice from three causes: a point raises, a
+worker process crashes, or a worker wedges.  This module lets tests (and
+chaos-style CI jobs) provoke each of those failure modes at an exact,
+reproducible place, so the retry/requeue/checkpoint machinery in
+:mod:`repro.experiments.common` can be exercised deterministically.
+
+A :class:`FaultPlan` names a *kind* of fault and a *site* at which to
+fire.  Sites are labelled check-points sprinkled through the stack:
+
+* ``point`` -- checked by :func:`repro.experiments.common.run_standard_point`
+  before simulating one sweep point (serial path and worker processes);
+* ``batch`` -- checked by :meth:`repro.engine.pipeline.Pipeline.run` for
+  every batch pulled through the sink;
+* ``experiment`` -- checked by the runner before each experiment;
+* ``checkpoint`` -- consulted by the sweep checkpoint writer (the
+  ``corrupt`` kind mangles the serialized record).
+
+Kinds:
+
+* ``raise`` -- raise :class:`~repro.errors.InjectedFault`;
+* ``hang`` -- sleep for ``hang_seconds`` (a *bounded* hang, so injected
+  wedges cannot deadlock a test run that exercises the timeout path);
+* ``crash`` -- ``os._exit`` the process, but **only** inside a
+  multiprocessing worker; in the coordinating process it is ignored,
+  so an injected crash can never take down the test harness itself;
+* ``corrupt`` -- mangle a payload passed through :func:`corrupt_text`
+  (used for checkpoint records; :func:`check` ignores it).
+
+Plans are installed programmatically with :func:`install` or from the
+``REPRO_FAULTS`` environment variable, e.g.::
+
+    REPRO_FAULTS="raise@point:2"            # 3rd sweep point raises once
+    REPRO_FAULTS="crash@point:0,count=2"    # workers crash on their 1st point
+    REPRO_FAULTS="hang@point:1,hang=2.5;raise@experiment:0,match=fig7"
+
+Each plan counts only the site checks whose label matches it, per
+process; counters restart in every pool worker (see
+:func:`reset_for_worker`), so "the Nth point" means the Nth point *that
+process* attempts -- deterministic under fork and spawn alike.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError, InjectedFault
+
+#: Environment variable holding semicolon-separated fault specs.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_KINDS = ("raise", "hang", "crash", "corrupt")
+
+#: Exit status used by injected worker crashes (distinctive in waitpid).
+CRASH_EXIT_CODE = 117
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault: fire ``kind`` at the ``at``-th matching
+    check of ``site`` (0-based), at most ``count`` times per process.
+
+    Attributes:
+        kind: one of ``raise | hang | crash | corrupt``.
+        site: the check-point name (``point``, ``batch``, ``experiment``,
+            ``checkpoint``, or any site a caller invents).
+        at: index of the first matching check that fires (0-based).
+        count: maximum number of fires per process.
+        match: only checks whose label contains this substring count
+            toward ``at`` (empty string matches everything).
+        hang_seconds: sleep duration for ``hang`` faults.  Bounded by
+            design -- an injected hang always eventually returns.
+        seed: reserved for corruption/randomized variants; keeps byte
+            mangling reproducible.
+    """
+
+    kind: str
+    site: str
+    at: int = 0
+    count: int = 1
+    match: str = ""
+    hang_seconds: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(f"fault 'at' must be >= 0, got {self.at}")
+        if self.count < 1:
+            raise ConfigurationError(
+                f"fault 'count' must be >= 1, got {self.count}"
+            )
+        if self.hang_seconds <= 0:
+            raise ConfigurationError(
+                f"fault 'hang' must be positive, got {self.hang_seconds}"
+            )
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse one ``kind@site:at[,key=value...]`` spec string."""
+    spec = spec.strip()
+    head, _, options = spec.partition(",")
+    if "@" not in head:
+        raise ConfigurationError(
+            f"bad fault spec {spec!r}: expected 'kind@site[:at][,key=value...]'"
+        )
+    kind, _, target = head.partition("@")
+    site, _, at_text = target.partition(":")
+    if not site:
+        raise ConfigurationError(f"bad fault spec {spec!r}: missing site")
+    kwargs: Dict[str, object] = {"at": int(at_text) if at_text else 0}
+    if options:
+        for item in options.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ConfigurationError(
+                    f"bad fault option {item!r} in {spec!r}"
+                )
+            if key == "count":
+                kwargs["count"] = int(value)
+            elif key == "match":
+                kwargs["match"] = value
+            elif key == "hang":
+                kwargs["hang_seconds"] = float(value)
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ConfigurationError(
+                    f"unknown fault option {key!r} in {spec!r}"
+                )
+    return FaultPlan(kind=kind.strip(), site=site.strip(), **kwargs)
+
+
+def parse_plans(text: str) -> Tuple[FaultPlan, ...]:
+    """Parse a semicolon-separated list of fault specs."""
+    return tuple(
+        parse_plan(part) for part in text.split(";") if part.strip()
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-process plan registry.  ``_seen``/``_fired`` are indexed by plan
+# position, so identical plans installed twice track independently.
+# ----------------------------------------------------------------------
+
+_plans: List[FaultPlan] = []
+_seen: Dict[int, int] = {}
+_fired: Dict[int, int] = {}
+_env_loaded = False
+
+
+def install(*plans: FaultPlan) -> None:
+    """Install fault plans (replacing any already installed)."""
+    global _env_loaded
+    clear()
+    _plans.extend(plans)
+    _env_loaded = True  # explicit installs override the environment
+
+
+def clear() -> None:
+    """Remove all plans and forget all counters (env will reload lazily)."""
+    global _env_loaded
+    _plans.clear()
+    _seen.clear()
+    _fired.clear()
+    _env_loaded = False
+
+
+def active() -> Tuple[FaultPlan, ...]:
+    """The currently installed plans (loading ``REPRO_FAULTS`` if needed)."""
+    _load_env()
+    return tuple(_plans)
+
+
+def reset_for_worker() -> None:
+    """Reset counters in a fresh pool worker.
+
+    Used as the pool initializer so every worker counts its own site
+    checks from zero, regardless of what the parent process did before
+    forking.  Keeps installed plans (and reloads the environment if none
+    were installed programmatically).
+    """
+    _seen.clear()
+    _fired.clear()
+    if not _env_loaded:
+        _load_env()
+
+
+def is_worker_process() -> bool:
+    """True inside a ``multiprocessing`` child."""
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+def _load_env() -> None:
+    global _env_loaded
+    if _env_loaded:
+        return
+    _env_loaded = True
+    text = os.environ.get(FAULTS_ENV, "")
+    if text:
+        _plans.extend(parse_plans(text))
+
+
+def _matching(site: str, label: str, kinds: Tuple[str, ...]):
+    """Yield (index, plan) for plans due to fire at this check."""
+    _load_env()
+    for index, plan in enumerate(_plans):
+        if plan.site != site or plan.kind not in kinds:
+            continue
+        if plan.match and plan.match not in label:
+            continue
+        seen = _seen.get(index, 0)
+        _seen[index] = seen + 1
+        if seen >= plan.at and _fired.get(index, 0) < plan.count:
+            _fired[index] = _fired.get(index, 0) + 1
+            yield index, plan
+
+
+def check(site: str, label: str = "") -> None:
+    """Fire any due ``raise``/``hang``/``crash`` fault at this site.
+
+    The fast path (no plans installed) is a tuple check -- cheap enough
+    to call per pipeline batch.
+    """
+    if not _plans and _env_loaded:
+        return
+    for _, plan in _matching(site, label, ("raise", "hang", "crash")):
+        if plan.kind == "raise":
+            raise InjectedFault(
+                f"injected fault at {site}[{plan.at}] ({label or 'unlabelled'})"
+            )
+        if plan.kind == "hang":
+            time.sleep(plan.hang_seconds)
+        elif plan.kind == "crash":
+            # Never take down the coordinating process: crashes only make
+            # sense as *worker* deaths the pool must survive.
+            if is_worker_process():
+                os._exit(CRASH_EXIT_CODE)
+
+
+def corrupt_text(site: str, label: str, text: str) -> str:
+    """Pass ``text`` through any due ``corrupt`` fault at this site.
+
+    On fire, the payload is deterministically mangled (a seed-positioned
+    byte splice), modelling a torn or bit-flipped on-disk record.  With
+    no due fault the text passes through unchanged.
+    """
+    if not _plans and _env_loaded:
+        return text
+    for _, plan in _matching(site, label, ("corrupt",)):
+        if not text:
+            return "\x00"
+        position = plan.seed % len(text)
+        return text[:position] + "\x00CORRUPT\x00" + text[position + 1:]
+    return text

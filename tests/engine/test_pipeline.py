@@ -111,6 +111,37 @@ class TestWindowOperator:
         assert batches[0].indices.tolist() == [5, 6]
         assert batches[1].indices.tolist() == [7]
 
+    def test_window_equal_to_batch_size_passes_through(self):
+        # Upstream batches already have exactly the window size: each
+        # must come out unchanged (and uncopied), with no empty tail.
+        operator = WindowOperator(window_bytes=4 * 8)
+        upstream = [batch_of([1, 2, 3, 4]), batch_of([5, 6, 7, 8], start=4)]
+        batches = drain(operator, upstream)
+        assert [len(b) for b in batches] == [4, 4]
+        assert batches[0].keys.tolist() == [1, 2, 3, 4]
+        assert batches[1].keys.tolist() == [5, 6, 7, 8]
+        assert batches[1].indices.tolist() == [4, 5, 6, 7]
+        # The contiguous fast path slices, never concatenates.
+        assert batches[0].keys.base is upstream[0].keys
+
+    def test_final_partial_window_of_one_tuple(self):
+        operator = WindowOperator(window_bytes=4 * 8)
+        batches = drain(operator, [batch_of(list(range(9)))])
+        assert [len(b) for b in batches] == [4, 4, 1]
+        assert batches[-1].keys.tolist() == [8]
+        assert batches[-1].indices.tolist() == [8]
+
+    def test_partial_tail_spanning_input_batches(self):
+        # The 1-tuple tail accumulates across two upstream batches.
+        operator = WindowOperator(window_bytes=4 * 8)
+        batches = drain(operator, [batch_of([1, 2, 3]), batch_of([4, 5], start=3)])
+        assert [len(b) for b in batches] == [4, 1]
+        assert batches[-1].keys.tolist() == [5]
+
+    def test_zero_batch_upstream_yields_nothing(self):
+        operator = WindowOperator(window_bytes=4 * 8)
+        assert drain(operator, []) == []
+
 
 class TestProbeAndMaterialize:
     def test_probe_sets_positions(self, small_relation, small_probes):
@@ -190,6 +221,22 @@ class TestPipeline:
         pipeline = Pipeline([ScanOperator(small_probes.keys)])
         with pytest.raises(ConfigurationError):
             pipeline.run()
+
+    def test_sink_validated_before_pulling_the_stream(self, small_probes):
+        # A misconfigured pipeline must fail fast: no batch may be
+        # pulled (and no work done) before the sink check raises.
+        pulled = []
+
+        def spy(keys):
+            pulled.append(len(keys))
+            return np.ones(len(keys), dtype=bool)
+
+        pipeline = Pipeline(
+            [ScanOperator(small_probes.keys), FilterOperator(spy)]
+        )
+        with pytest.raises(ConfigurationError):
+            pipeline.run()
+        assert pulled == []
 
     def test_empty_stream(self, small_relation):
         partitioner = RadixPartitioner(

@@ -1,0 +1,120 @@
+"""Sweep checkpoints: fingerprints, round trips, corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes import RadixSplineIndex
+from repro.resilience import checkpoint as cp
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+
+TASK = ("inlj", V100_NVLINK2, 2**20, RadixSplineIndex, SimulationConfig())
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert cp.fingerprint(TASK) == cp.fingerprint(TASK)
+
+    def test_sensitive_to_every_field(self):
+        base = cp.fingerprint(TASK)
+        assert cp.fingerprint(("hash",) + TASK[1:]) != base
+        assert cp.fingerprint(TASK[:2] + (2**21,) + TASK[3:]) != base
+        assert cp.fingerprint(TASK[:3] + (None,) + TASK[4:]) != base
+
+    def test_classes_key_by_qualified_name(self):
+        # repr() of a class embeds nothing run-dependent in the
+        # canonical form -- two processes must agree on the hash.
+        text = cp._canonical(RadixSplineIndex)
+        assert "RadixSplineIndex" in text
+        assert "0x" not in text
+
+    def test_sweep_path_keyed_by_config_hash(self, tmp_path):
+        path_a = cp.sweep_path(str(tmp_path), [TASK])
+        path_b = cp.sweep_path(str(tmp_path), [TASK, TASK])
+        assert path_a != path_b
+        assert path_a.endswith(".jsonl")
+
+
+class TestSweepCheckpoint:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        store = cp.SweepCheckpoint(path)
+        outcome = ("ok", {"seconds": 1.25, "exact": 0.1 + 0.2})
+        store.record("fp-1", outcome)
+
+        reloaded = cp.SweepCheckpoint(path, resume=True)
+        assert reloaded.get("fp-1") == outcome
+        # pickle round-trips float bits exactly
+        assert reloaded.get("fp-1")[1]["exact"] == 0.1 + 0.2
+        assert reloaded.get("fp-2") is None
+        assert reloaded.stats["loaded"] == 1
+
+    def test_fresh_run_truncates(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        cp.SweepCheckpoint(path).record("fp-1", ("ok", 1))
+        fresh = cp.SweepCheckpoint(path, resume=False)
+        assert fresh.get("fp-1") is None
+        assert cp.SweepCheckpoint(path, resume=True).stats["loaded"] == 0
+
+    def test_corrupted_line_discarded(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        store = cp.SweepCheckpoint(path)
+        store.record("fp-1", ("ok", 1))
+        store.record("fp-2", ("ok", 2))
+        lines = open(path).read().splitlines()
+        record = json.loads(lines[0])
+        record["data"] = record["data"][:-4] + "AAAA"  # flip payload bytes
+        with open(path, "w") as handle:
+            handle.write(json.dumps(record) + "\n" + lines[1] + "\n")
+
+        reloaded = cp.SweepCheckpoint(path, resume=True)
+        assert reloaded.get("fp-1") is None  # checksum mismatch: recompute
+        assert reloaded.get("fp-2") == ("ok", 2)
+        assert reloaded.stats["discarded"] == 1
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        store = cp.SweepCheckpoint(path)
+        store.record("fp-1", ("ok", 1))
+        with open(path, "a") as handle:
+            handle.write('{"task": "fp-2", "sha": "dead')  # SIGKILL mid-write
+        reloaded = cp.SweepCheckpoint(path, resume=True)
+        assert reloaded.get("fp-1") == ("ok", 1)
+        assert reloaded.stats["discarded"] == 1
+
+    def test_injected_corruption_caught_on_reload(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        store = cp.SweepCheckpoint(path)
+        faults.install(
+            FaultPlan(kind="corrupt", site="checkpoint", at=0, seed=5)
+        )
+        store.record("fp-1", ("ok", 1))
+        faults.clear()
+        reloaded = cp.SweepCheckpoint(path, resume=True)
+        assert reloaded.get("fp-1") is None
+        assert reloaded.stats["discarded"] == 1
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert cp.for_tasks([TASK]) is None
+
+    def test_configured_scope_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cp.CHECKPOINT_DIR_ENV, str(tmp_path / "env"))
+        scoped = tmp_path / "scoped"
+        with cp.configured(str(scoped)):
+            store = cp.for_tasks([TASK])
+            assert store is not None
+            assert store.path.startswith(str(scoped))
+        env_store = cp.for_tasks([TASK])
+        assert env_store.path.startswith(str(tmp_path / "env"))
+
+    def test_env_resume_opt_out(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cp.CHECKPOINT_DIR_ENV, str(tmp_path))
+        path = cp.sweep_path(str(tmp_path), [TASK])
+        cp.SweepCheckpoint(path).record(cp.fingerprint(TASK), ("ok", 1))
+        monkeypatch.setenv(cp.RESUME_ENV, "0")
+        assert cp.for_tasks([TASK]).stats["loaded"] == 0

@@ -1,0 +1,208 @@
+"""Fault-injection harness: spec parsing, firing semantics, safety."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InjectedFault
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, parse_plan, parse_plans
+
+
+class TestParsing:
+    def test_minimal_spec(self):
+        plan = parse_plan("raise@point")
+        assert plan.kind == "raise"
+        assert plan.site == "point"
+        assert plan.at == 0
+        assert plan.count == 1
+
+    def test_full_spec(self):
+        plan = parse_plan("hang@batch:3,count=2,match=fig7,hang=1.5,seed=9")
+        assert plan == FaultPlan(
+            kind="hang",
+            site="batch",
+            at=3,
+            count=2,
+            match="fig7",
+            hang_seconds=1.5,
+            seed=9,
+        )
+
+    def test_multiple_specs(self):
+        plans = parse_plans("raise@point:1; crash@point:0,count=3")
+        assert [plan.kind for plan in plans] == ["raise", "crash"]
+
+    def test_empty_text_yields_nothing(self):
+        assert parse_plans("") == ()
+        assert parse_plans(" ; ") == ()
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode@point",          # unknown kind
+            "raisepoint",             # missing @
+            "raise@",                 # missing site
+            "raise@point:0,bogus=1",  # unknown option
+            "raise@point:0,count",    # malformed option
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises((ConfigurationError, ValueError)):
+            parse_plan(spec)
+
+    def test_plan_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kind="raise", site="point", at=-1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kind="raise", site="point", count=0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kind="hang", site="point", hang_seconds=0)
+
+
+class TestFiring:
+    def test_fires_at_nth_matching_check(self):
+        faults.install(FaultPlan(kind="raise", site="point", at=2))
+        faults.check("point")  # 0
+        faults.check("point")  # 1
+        with pytest.raises(InjectedFault):
+            faults.check("point")  # 2 -> fires
+
+    def test_count_bounds_fires(self):
+        faults.install(FaultPlan(kind="raise", site="point", at=0, count=2))
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faults.check("point")
+        faults.check("point")  # budget spent: silent
+
+    def test_other_sites_do_not_count(self):
+        faults.install(FaultPlan(kind="raise", site="point", at=1))
+        faults.check("batch")
+        faults.check("experiment")
+        faults.check("point")  # first matching check: index 0, no fire
+        with pytest.raises(InjectedFault):
+            faults.check("point")
+
+    def test_match_filters_labels(self):
+        faults.install(
+            FaultPlan(kind="raise", site="experiment", at=0, match="fig7")
+        )
+        faults.check("experiment", "table1")
+        faults.check("experiment", "fig3+fig4")
+        with pytest.raises(InjectedFault):
+            faults.check("experiment", "fig7")
+
+    def test_no_plans_is_a_noop(self):
+        faults.clear()
+        faults.check("point", "anything")  # must not raise
+
+    def test_crash_is_inert_in_parent_process(self):
+        # An injected crash may only kill pool workers, never the
+        # process coordinating the sweep (or the test harness).
+        faults.install(FaultPlan(kind="crash", site="point", at=0))
+        faults.check("point")  # still alive
+
+    def test_hang_sleeps_bounded(self):
+        import time
+
+        faults.install(
+            FaultPlan(kind="hang", site="point", at=0, hang_seconds=0.05)
+        )
+        started = time.perf_counter()
+        faults.check("point")
+        assert time.perf_counter() - started >= 0.05
+
+    def test_reset_for_worker_restarts_counters(self):
+        faults.install(FaultPlan(kind="raise", site="point", at=0))
+        with pytest.raises(InjectedFault):
+            faults.check("point")
+        faults.reset_for_worker()  # fired/seen cleared, plans kept
+        with pytest.raises(InjectedFault):
+            faults.check("point")
+
+
+class TestPipelineBatchSite:
+    def test_batch_fault_fires_mid_stream(self):
+        import numpy as np
+
+        from repro.engine.pipeline import (
+            IndexProbeOperator,
+            MaterializeOperator,
+            Pipeline,
+            ScanOperator,
+        )
+        from repro.data.generator import WorkloadConfig, make_workload
+        from repro.indexes import RadixSplineIndex
+
+        config = WorkloadConfig(
+            r_tuples=2**12, s_tuples=2**8, match_rate=0.9, seed=3
+        )
+        relation, probes = make_workload(config, probe_count=2**8)
+        pipeline = Pipeline(
+            [
+                ScanOperator(probes.keys, batch_tuples=64),
+                IndexProbeOperator(RadixSplineIndex(relation)),
+                MaterializeOperator(),
+            ]
+        )
+        faults.install(FaultPlan(kind="raise", site="batch", at=2))
+        with pytest.raises(InjectedFault):
+            pipeline.run()
+        faults.clear()
+        assert len(pipeline_rerun(relation, probes)) > 0
+
+    def test_no_fault_pipeline_unaffected(self):
+        from repro.data.generator import WorkloadConfig, make_workload
+
+        config = WorkloadConfig(
+            r_tuples=2**12, s_tuples=2**8, match_rate=0.9, seed=3
+        )
+        relation, probes = make_workload(config, probe_count=2**8)
+        assert len(pipeline_rerun(relation, probes)) > 0
+
+
+def pipeline_rerun(relation, probes):
+    from repro.engine.pipeline import (
+        IndexProbeOperator,
+        MaterializeOperator,
+        Pipeline,
+        ScanOperator,
+    )
+    from repro.indexes import RadixSplineIndex
+
+    return Pipeline(
+        [
+            ScanOperator(probes.keys, batch_tuples=64),
+            IndexProbeOperator(RadixSplineIndex(relation)),
+            MaterializeOperator(),
+        ]
+    ).run()
+
+
+class TestEnvironment:
+    def test_env_plans_loaded_lazily(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "raise@point:0")
+        faults.clear()
+        assert [plan.kind for plan in faults.active()] == ["raise"]
+        with pytest.raises(InjectedFault):
+            faults.check("point")
+
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "raise@point:0")
+        faults.clear()
+        faults.install()  # explicit empty install: no faults
+        faults.check("point")
+
+
+class TestCorruption:
+    def test_corrupt_text_mangles_once(self):
+        faults.install(
+            FaultPlan(kind="corrupt", site="checkpoint", at=0, seed=3)
+        )
+        mangled = faults.corrupt_text("checkpoint", "rec", "hello world")
+        assert mangled != "hello world"
+        assert "CORRUPT" in mangled
+        # budget spent: passthrough afterwards
+        assert faults.corrupt_text("checkpoint", "rec", "second") == "second"
+
+    def test_corrupt_does_not_fire_for_check(self):
+        faults.install(FaultPlan(kind="corrupt", site="point", at=0))
+        faults.check("point")  # corrupt plans never raise/hang/crash
