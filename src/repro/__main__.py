@@ -8,6 +8,8 @@ Commands:
   sweeps and record wall clocks plus key counters to a JSON report;
 * ``plan --r-gib N [options]`` -- run the access-path planner for one
   workload and print the EXPLAIN output;
+* ``obs report [manifests...]`` -- render or diff ``metrics.json``
+  observability manifests emitted by ``experiments --trace``;
 * ``info`` -- library, machine-preset, and index overview.
 """
 
@@ -66,8 +68,21 @@ def cmd_experiments(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         policy=policy_from_args(args),
+        trace=True if args.trace else None,
+        trace_file=args.trace_file,
     )
     return report.exit_code()
+
+
+def cmd_obs(args) -> int:
+    from .obs.report import run_report as obs_run_report
+
+    return obs_run_report(
+        args.manifests,
+        diff=args.diff,
+        fail_on_drift=args.fail_on_drift,
+        rel_tol=args.rel_tol,
+    )
 
 
 def cmd_bench(args) -> int:
@@ -117,9 +132,10 @@ def main(argv=None) -> int:
         "--workers", type=int, default=1,
         help="processes for the standard sweeps (results identical to serial)",
     )
-    from .experiments.runner import add_resilience_arguments
+    from .experiments.runner import add_resilience_arguments, add_trace_arguments
 
     add_resilience_arguments(experiments)
+    add_trace_arguments(experiments)
 
     bench = subparsers.add_parser(
         "bench", help="time the standard sweeps and write a JSON report"
@@ -136,6 +152,17 @@ def main(argv=None) -> int:
         "--compare-reference", action="store_true",
         help="also time the OrderedDict reference models for a speedup figure",
     )
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability manifests: render and diff metrics.json"
+    )
+    obs_subparsers = obs_parser.add_subparsers(dest="obs_command")
+    obs_report = obs_subparsers.add_parser(
+        "report", help="render one manifest, or diff BASELINE CURRENT"
+    )
+    from .obs.report import add_report_arguments
+
+    add_report_arguments(obs_report)
 
     plan = subparsers.add_parser(
         "plan", help="cost-based access-path selection for one workload"
@@ -161,6 +188,16 @@ def main(argv=None) -> int:
             return cmd_bench(args)
         if args.command == "plan":
             return cmd_plan(args)
+        if args.command == "obs":
+            if args.obs_command != "report":
+                obs_parser.print_help()
+                return 1
+            try:
+                return cmd_obs(args)
+            except (OSError, ValueError) as error:
+                # Unreadable or malformed manifest files.
+                print(f"error: {error}", file=sys.stderr)
+                return 2
     except ConfigurationError as error:
         # Bad flags (e.g. --workers 0) are usage errors, not tracebacks.
         print(f"error: {error}", file=sys.stderr)

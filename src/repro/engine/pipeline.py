@@ -20,6 +20,7 @@ from typing import Callable, Iterable, Iterator, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..data.column import KEY_DTYPE
 from ..errors import ConfigurationError, WorkloadError
 from ..indexes.base import Index
@@ -217,6 +218,20 @@ class MaterializeOperator(Operator):
             )
 
 
+def _counted(
+    stream: Iterator[TupleBatch], operator_name: str
+) -> Iterator[TupleBatch]:
+    """Wrap one operator's output stream with per-operator obs counters.
+
+    Only installed while tracing is on (:meth:`Pipeline.run`), so the
+    traced-off pull loop runs the bare generators.
+    """
+    for batch in stream:
+        obs.add("pipeline.batches", operator=operator_name)
+        obs.add("pipeline.tuples", float(len(batch)), operator=operator_name)
+        yield batch
+
+
 class Pipeline:
     """A chain of operators executed by pulling the sink."""
 
@@ -231,19 +246,29 @@ class Pipeline:
         The sink is validated *before* any batch is pulled: a pipeline
         missing its :class:`MaterializeOperator` fails immediately
         instead of streaming the whole input and then raising.
+
+        While tracing is on, every operator's output stream is wrapped
+        with a counting generator (``pipeline.batches`` /
+        ``pipeline.tuples`` per operator) and the pull loop runs inside
+        a ``pipeline.run`` span.
         """
         sink = self.operators[-1]
         if not isinstance(sink, MaterializeOperator):
             raise ConfigurationError(
                 "the last operator must be a MaterializeOperator"
             )
+        traced = obs.enabled()
         stream: Iterator[TupleBatch] = iter(())
         for operator in self.operators:
             stream = operator.process(stream)
-        for __ in stream:
-            # Fault-injection site: a ``*@batch`` plan can raise or stall
-            # mid-stream, exercising pipeline-level recovery in tests.
-            faults.check("batch", type(sink).__name__)
+            if traced:
+                stream = _counted(stream, type(operator).__name__)
+        with obs.span("pipeline.run", stages=len(self.operators)):
+            for __ in stream:
+                # Fault-injection site: a ``*@batch`` plan can raise or
+                # stall mid-stream, exercising pipeline-level recovery in
+                # tests.
+                faults.check("batch", type(sink).__name__)
         if sink.result is None:
             raise ConfigurationError(
                 "the materialize sink produced no result; was the "

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
+from .. import obs
 from ..config import (
     DEFAULT_IGNORED_LSB,
     DEFAULT_NUM_PARTITIONS,
@@ -408,10 +409,30 @@ def map_standard_points(
         else:
             pending.append(index)
 
-    if workers is None or workers <= 1 or len(pending) <= 1:
-        _run_serial(tasks, pending, results, policy, checkpoint, fingerprints)
-    else:
-        _run_pooled(
-            tasks, pending, results, workers, policy, checkpoint, fingerprints
-        )
+    # Pooled workers collect obs counters in their own process and do not
+    # report them back; traced sweeps that must account every op (e.g. the
+    # CI bench-smoke manifest) run serially.
+    with obs.span(
+        "sweep.map",
+        points=len(tasks),
+        pending=len(pending),
+        workers=workers or 1,
+    ):
+        if workers is None or workers <= 1 or len(pending) <= 1:
+            _run_serial(
+                tasks, pending, results, policy, checkpoint, fingerprints
+            )
+        else:
+            _run_pooled(
+                tasks, pending, results, workers, policy, checkpoint,
+                fingerprints,
+            )
+    if obs.enabled():
+        for key in (
+            "points", "resumed", "computed", "requeued", "pool_restarts"
+        ):
+            if stats[key]:
+                obs.add(f"sweep.{key}", float(stats[key]))
+        if stats["degraded"]:
+            obs.add("sweep.degraded")
     return results

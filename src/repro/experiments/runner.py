@@ -23,9 +23,11 @@ only the missing sweep points.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..resilience import checkpoint as checkpoint_mod
 from ..resilience import faults
@@ -52,6 +54,8 @@ def run_report(
     checkpoint_dir=None,
     resume: bool = False,
     policy: RetryPolicy = None,
+    trace: bool = None,
+    trace_file=None,
 ) -> RunReport:
     """Run the named experiments (all if empty); returns a RunReport.
 
@@ -64,10 +68,22 @@ def run_report(
     sweep points; with ``resume`` a rerun skips the points already on
     disk (still bit-identical).  ``policy`` tunes retry/timeout behavior
     for the sweeps (default: :meth:`RetryPolicy.from_env`).
+
+    ``trace=True`` enables the observability layer (:mod:`repro.obs`)
+    for this run, ``trace=False`` disables it, and ``None`` keeps the
+    ``REPRO_TRACE`` environment default.  A traced run writes a
+    ``metrics.json`` run manifest to ``trace_file`` (default:
+    ``REPRO_TRACE_FILE``, else ``metrics.json`` in ``output_dir`` or the
+    working directory) plus one ``<name>.metrics.json`` per exported
+    experiment.  Note pooled workers (``workers > 1``) keep their op
+    counters local; fully-accounted manifests need a serial run.
     """
     if stream is None:
         stream = sys.stdout
     common.validate_workers(workers)
+    if trace is not None:
+        obs.enable(bool(trace))
+    obs.reset()
     from ..perf.alloc import tune_allocator
 
     tune_allocator()
@@ -76,9 +92,32 @@ def run_report(
         checkpoint_dir, resume=resume
     ), retry_mod.configured(policy):
         _run_all(names, quick, stream, output_dir, charts, workers, report)
+    report.timings.update(obs.phase_wall_seconds())
+    run_summary = report.run_summary_text()
+    if run_summary:
+        stream.write(run_summary + "\n")
+        stream.flush()
     summary = report.summary_text()
     if summary:
         stream.write(summary + "\n")
+        stream.flush()
+    if obs.enabled():
+        target = trace_file or os.environ.get(obs.TRACE_FILE_ENV)
+        if not target:
+            target = (
+                os.path.join(output_dir, "metrics.json")
+                if output_dir is not None
+                else "metrics.json"
+            )
+        obs.write_manifest(
+            target,
+            run_info={
+                "experiments": sorted(report.results),
+                "quick": bool(quick),
+                "workers": workers,
+            },
+        )
+        stream.write(f"[trace manifest written to {target}]\n")
         stream.flush()
     return report
 
@@ -119,6 +158,11 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
         stream.write(text + "\n\n")
         stream.flush()
 
+    def took(name: str) -> float:
+        """Wall seconds one experiment phase spent (span-sourced)."""
+        seconds = obs.tracer().phase_wall_seconds(name)
+        return 0.0 if seconds is None else seconds
+
     def guarded(name: str, func):
         """Run one experiment in isolation; capture any failure.
 
@@ -126,12 +170,19 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
         failure lands in the report and the remaining experiments still
         run).  The ``experiment`` fault-injection site fires here, so
         tests can force any single experiment to fail by name.
+
+        The whole experiment executes inside an ``obs.phase(name)``
+        scope: its wall time is measured unconditionally (the exit
+        summary and failure report use it), and while tracing is on
+        every counter recorded inside lands in the phase's shadow
+        section of the run manifest.
         """
         started = time.time()
         sweep_before = dict(common.LAST_SWEEP)
         try:
-            faults.check("experiment", name)
-            return func()
+            with obs.phase(name):
+                faults.check("experiment", name)
+                return func()
         except Exception as error:  # isolated: the run continues
             # Only attribute sweep progress to this failure if this
             # experiment actually advanced a sweep.
@@ -140,6 +191,9 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
                 if common.LAST_SWEEP != sweep_before
                 else None
             )
+            elapsed = obs.tracer().phase_wall_seconds(name)
+            if elapsed is None:
+                elapsed = time.time() - started
             report.failures.append(
                 ExperimentFailure.from_exception(
                     name,
@@ -147,20 +201,27 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
                     error,
                     started,
                     points_completed=completed,
+                    elapsed_seconds=elapsed,
                 )
             )
             emit(
-                f"  [{name} FAILED after {time.time() - started:.1f}s: "
+                f"  [{name} FAILED after {elapsed:.1f}s: "
                 f"{type(error).__name__}: {error}; continuing -- see "
                 "failure summary]"
             )
             return None
 
-    def finish(result) -> None:
+    def finish(result, phase=None) -> None:
         if output_dir is not None:
             from ..perf.export import write_result
 
             write_result(result, output_dir)
+            if obs.enabled():
+                obs.write_manifest(
+                    os.path.join(output_dir, f"{result.name}.metrics.json"),
+                    run_info={"experiment": result.name},
+                    phase=phase or result.name,
+                )
         if charts:
             from ..perf.charts import chart_experiment
 
@@ -191,16 +252,14 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
     naive_sim = QUICK_NAIVE_SIM if quick else NAIVE_SIM
 
     if selected("table1"):
-        started = time.time()
         value = guarded("table1", table1.run)
         if value is not None:
             results["table1"] = value
             emit(value)
-            emit(f"  [table1 took {time.time() - started:.1f}s]")
+            emit(f"  [table1 took {took('table1'):.1f}s]")
 
     naive_requests = None
     if selected("fig3") or selected("fig4") or selected("fig6"):
-        started = time.time()
         value = guarded(
             "fig3+fig4",
             lambda: fig3.run(r_sizes_gib=r_sizes, sim=naive_sim, workers=workers),
@@ -211,15 +270,14 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
             results["fig4"] = naive_requests
             if selected("fig3"):
                 emit(throughput.to_text())
-                finish(throughput)
+                finish(throughput, phase="fig3+fig4")
             if selected("fig4"):
                 emit(naive_requests.to_text(y_format="{:.2f}"))
-                finish(naive_requests)
-            emit(f"  [fig3+fig4 took {time.time() - started:.1f}s]")
+                finish(naive_requests, phase="fig3+fig4")
+            emit(f"  [fig3+fig4 took {took('fig3+fig4'):.1f}s]")
 
     partitioned_requests = None
     if selected("fig5") or selected("fig6"):
-        started = time.time()
         value = guarded(
             "fig5",
             lambda: fig5.run(r_sizes_gib=r_sizes, workers=workers),
@@ -229,11 +287,10 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
             results["fig5"] = throughput
             if selected("fig5"):
                 emit(throughput.to_text())
-                finish(throughput)
-            emit(f"  [fig5 took {time.time() - started:.1f}s]")
+                finish(throughput, phase="fig5")
+            emit(f"  [fig5 took {took('fig5'):.1f}s]")
 
     if selected("fig6"):
-        started = time.time()
         value = guarded(
             "fig6",
             lambda: fig6.run(
@@ -246,45 +303,41 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
             results["fig6"] = value
             emit(value.to_text(y_format="{:.2f}"))
             finish(value)
-            emit(f"  [fig6 took {time.time() - started:.1f}s]")
+            emit(f"  [fig6 took {took('fig6'):.1f}s]")
 
     if selected("fig7"):
-        started = time.time()
         windows = QUICK_WINDOWS if quick else fig7.DEFAULT_WINDOW_TUPLES
         value = guarded("fig7", lambda: fig7.run(window_tuples=windows))
         if value is not None:
             results["fig7"] = value
             emit(value.to_text())
             finish(value)
-            emit(f"  [fig7 took {time.time() - started:.1f}s]")
+            emit(f"  [fig7 took {took('fig7'):.1f}s]")
 
     if selected("fig8"):
-        started = time.time()
         thetas = QUICK_THETAS if quick else fig8.DEFAULT_THETAS
         value = guarded("fig8", lambda: fig8.run(thetas=thetas))
         if value is not None:
             results["fig8"] = value
             emit(value.to_text())
             finish(value)
-            emit(f"  [fig8 took {time.time() - started:.1f}s]")
+            emit(f"  [fig8 took {took('fig8'):.1f}s]")
 
     if selected("fig9"):
-        started = time.time()
         value = guarded("fig9", fig9.run)
         if value is not None:
             results["fig9"] = value
             emit(value.to_text())
             finish(value)
-            emit(f"  [fig9 took {time.time() - started:.1f}s]")
+            emit(f"  [fig9 took {took('fig9'):.1f}s]")
 
     if selected("claims"):
-        started = time.time()
         measured = guarded("claims", claims.run)
         if measured is not None:
             results["claims"] = measured
             for claim in measured:
                 emit(claim.to_text())
-            emit(f"  [claims took {time.time() - started:.1f}s]")
+            emit(f"  [claims took {took('claims'):.1f}s]")
 
 
 def add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
@@ -306,6 +359,20 @@ def add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="with --checkpoint-dir (or REPRO_CHECKPOINT_DIR): skip sweep "
              "points already checkpointed, recomputing only the missing ones",
+    )
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability CLI flags."""
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable the observability layer: spans, op counters, and a "
+             "metrics.json run manifest (same as REPRO_TRACE=1)",
+    )
+    parser.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="run-manifest path for --trace (default REPRO_TRACE_FILE, "
+             "else metrics.json next to the exported results)",
     )
 
 
@@ -349,6 +416,7 @@ def main(argv=None) -> int:
         help="processes for the standard sweeps (results identical to serial)",
     )
     add_resilience_arguments(parser)
+    add_trace_arguments(parser)
     args = parser.parse_args(argv)
     try:
         report = run_report(
@@ -360,6 +428,8 @@ def main(argv=None) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             policy=policy_from_args(args),
+            trace=True if args.trace else None,
+            trace_file=args.trace_file,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -30,6 +30,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..config import DEFAULT_CONFIG, SimulationConfig
 from ..errors import ConfigurationError, SimulationError
 from ..hardware.cache import LruCache, SetAssociativeCache
@@ -118,6 +119,13 @@ class MachineModel:
                 gpu.l2_bytes, gpu.cacheline_bytes, ways=16
             )
             self.tlb = LruTlb(spec.tlb_entries)
+        # Name the hierarchy levels for observability: a named model emits
+        # ``model.<name>.*`` counters from its batch entry points.  The
+        # VectorLruTlb's inner VectorLruCache stays unnamed on purpose --
+        # naming it would double-count every TLB access.
+        self.l1.obs_name = "l1"
+        self.l2.obs_name = "l2"
+        self.tlb.obs_name = "tlb"
         if gpu.cacheline_bytes & (gpu.cacheline_bytes - 1) != 0:
             raise ConfigurationError(
                 f"cacheline size must be a power of two, got {gpu.cacheline_bytes}"
@@ -212,7 +220,33 @@ class MachineModel:
         independent rates, so the TLB sees a mix of all traversal levels
         at once; replaying steps in lockstep would let mid-size levels
         enjoy artificial within-step TLB residency.
+
+        When tracing is on (:mod:`repro.obs`), each call emits one
+        ``replay.simulate`` span plus ``replay.*`` counters sourced from
+        the very :class:`PerfCounters` returned -- so traced counters are
+        exact for the fast and reference replay engines alike.
         """
+        if not obs.enabled():
+            return self._replay(trace, simulate_tlb, interleave_width, shuffle)
+        with obs.span(
+            "replay.simulate",
+            lookups=trace.num_lookups,
+            event_tlb=simulate_tlb,
+        ):
+            counters = self._replay(
+                trace, simulate_tlb, interleave_width, shuffle
+            )
+        obs.add("replay.batches")
+        obs.add_perf_counters("replay", counters)
+        return counters
+
+    def _replay(
+        self,
+        trace: LookupTrace,
+        simulate_tlb: bool,
+        interleave_width: Optional[int],
+        shuffle: bool,
+    ) -> PerfCounters:
         stream, issued = self.coalesced_lines(trace, interleave_width)
         if shuffle and len(stream) > 0:
             rng = np.random.default_rng(self.sim.seed ^ 0x5A)

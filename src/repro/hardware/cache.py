@@ -18,13 +18,20 @@ Two models share one interface (``access(line) -> bool``):
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable
+from typing import Iterable, Optional
 
+from .. import obs
 from ..errors import ConfigurationError
 
 
 class LruCache:
     """Fully associative LRU cache over line numbers."""
+
+    #: Set by the owner to emit ``model.<obs_name>.*`` counters from batch
+    #: entry points while tracing is on (see :mod:`repro.obs`).  Scalar
+    #: ``access`` never emits: per-access counter updates would dominate
+    #: the reference replay loop.
+    obs_name: Optional[str] = None
 
     def __init__(self, capacity_bytes: int, line_bytes: int):
         if capacity_bytes <= 0:
@@ -87,6 +94,9 @@ class SetAssociativeCache:
     physical caches slice addresses above the line offset.
     """
 
+    #: See :attr:`LruCache.obs_name`.
+    obs_name: Optional[str] = None
+
     def __init__(self, capacity_bytes: int, line_bytes: int, ways: int = 16):
         if ways <= 0:
             raise ConfigurationError(f"ways must be positive, got {ways}")
@@ -129,9 +139,16 @@ class SetAssociativeCache:
     def access_sequence(self, lines: Iterable[int]) -> int:
         """Touch a sequence of lines; returns the number of misses."""
         before = self.misses
+        hits_before = self.hits
         for line in lines:
             self.access(line)
-        return self.misses - before
+        misses = self.misses - before
+        if self.obs_name is not None and obs.enabled():
+            hits = self.hits - hits_before
+            obs.add(f"model.{self.obs_name}.accesses", float(hits + misses))
+            obs.add(f"model.{self.obs_name}.hits", float(hits))
+            obs.add(f"model.{self.obs_name}.misses", float(misses))
+        return misses
 
     def contains(self, line: int) -> bool:
         """Whether a line is resident, without touching LRU state."""

@@ -37,6 +37,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 
 #: Chunk length for the fully-associative models.  Must not exceed the
@@ -64,6 +65,13 @@ _HOT_SEGMENT = 512
 #: column machine, which would otherwise degenerate to one near-empty
 #: column per transaction.
 _WINDOW_SEGMENT = 512
+
+
+def _emit_model_counters(name: str, accesses: int, hits: int) -> None:
+    """Batch-granularity obs counters for one named hierarchy level."""
+    obs.add(f"model.{name}.accesses", float(accesses))
+    obs.add(f"model.{name}.hits", float(hits))
+    obs.add(f"model.{name}.misses", float(accesses - hits))
 
 
 def _dense_ids(keys: np.ndarray, extra: np.ndarray):
@@ -125,6 +133,11 @@ class VectorLruCache:
     :meth:`access_batch` and :meth:`resident_lines`.
     """
 
+    #: Set by the owner (e.g. ``MachineModel`` names its levels "l1"/"l2")
+    #: to emit ``model.<obs_name>.*`` counters from batch accesses while
+    #: tracing is on.  Unnamed models stay silent.
+    obs_name: Optional[str] = None
+
     def __init__(self, capacity_bytes: int, line_bytes: int):
         if capacity_bytes <= 0:
             raise ConfigurationError(
@@ -171,6 +184,8 @@ class VectorLruCache:
         nhit = int(np.count_nonzero(hit_mask))
         self.hits += nhit
         self.misses += n - nhit
+        if self.obs_name is not None and obs.enabled():
+            _emit_model_counters(self.obs_name, n, nhit)
         return hit_mask
 
     # -- scalar compatibility ------------------------------------------
@@ -311,6 +326,9 @@ class VectorSetAssociativeCache:
     exactly LRU.
     """
 
+    #: See :attr:`VectorLruCache.obs_name`.
+    obs_name: Optional[str] = None
+
     def __init__(self, capacity_bytes: int, line_bytes: int, ways: int = 16):
         if ways <= 0:
             raise ConfigurationError(f"ways must be positive, got {ways}")
@@ -353,6 +371,8 @@ class VectorSetAssociativeCache:
         nhit = int(np.count_nonzero(hit_mask))
         self.hits += nhit
         self.misses += n - nhit
+        if self.obs_name is not None and obs.enabled():
+            _emit_model_counters(self.obs_name, n, nhit)
         return hit_mask
 
     def _replay(self, lines: np.ndarray) -> np.ndarray:
@@ -677,6 +697,11 @@ class VectorLruTlb:
     Interface-compatible with :class:`repro.hardware.tlb.LruTlb`.
     """
 
+    #: See :attr:`VectorLruCache.obs_name`.  The inner
+    #: :class:`VectorLruCache` stays unnamed so TLB accesses are not
+    #: double-counted.
+    obs_name: Optional[str] = None
+
     def __init__(self, entries: int):
         if entries <= 0:
             raise ConfigurationError(
@@ -723,7 +748,13 @@ class VectorLruTlb:
             keep[at] = False
             merged[keep] = self._seen
             self._seen = merged
-        return self._cache.access_batch(pages)
+        hit_mask = self._cache.access_batch(pages)
+        if self.obs_name is not None and obs.enabled():
+            nhit = int(np.count_nonzero(hit_mask))
+            _emit_model_counters(self.obs_name, len(pages), nhit)
+            if len(fresh):
+                obs.add(f"model.{self.obs_name}.cold_misses", float(len(fresh)))
+        return hit_mask
 
     def access(self, page: int) -> bool:
         """Touch one page; returns True on a TLB hit."""

@@ -19,10 +19,11 @@ page size (1 GiB huge pages in the paper's setup).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 
 
@@ -33,6 +34,10 @@ class LruTlb:
     concurrent threads round-robin before calling :meth:`access_sequence`,
     which is what makes inter-thread eviction (thrashing) visible.
     """
+
+    #: Set by the owner to emit ``model.<obs_name>.*`` counters from
+    #: :meth:`access_sequence` while tracing is on (see :mod:`repro.obs`).
+    obs_name: Optional[str] = None
 
     def __init__(self, entries: int):
         if entries <= 0:
@@ -74,9 +79,20 @@ class LruTlb:
     def access_sequence(self, pages: Iterable[int]) -> int:
         """Translate a sequence of pages; returns the number of misses."""
         before = self.misses
+        hits_before = self.hits
+        cold_before = self.cold_misses
         for page in pages:
             self.access(page)
-        return self.misses - before
+        misses = self.misses - before
+        if self.obs_name is not None and obs.enabled():
+            hits = self.hits - hits_before
+            cold = self.cold_misses - cold_before
+            obs.add(f"model.{self.obs_name}.accesses", float(hits + misses))
+            obs.add(f"model.{self.obs_name}.hits", float(hits))
+            obs.add(f"model.{self.obs_name}.misses", float(misses))
+            if cold:
+                obs.add(f"model.{self.obs_name}.cold_misses", float(cold))
+        return misses
 
     @property
     def miss_rate(self) -> float:

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..data.relation import Relation
 from ..errors import SimulationError
 from ..gpu.executor import LookupTrace
@@ -170,6 +171,9 @@ class Index(abc.ABC):
         keys = np.asarray(keys)
         if len(keys) == 0:
             return np.empty(0, dtype=np.int64)
+        if obs.enabled():
+            obs.add("index.lookups", float(len(keys)), index=self.name)
+            obs.add("index.lookup_batches", index=self.name)
         return self._traverse(keys, recorder=None)
 
     def trace_lookups(self, keys: np.ndarray) -> LookupResult:
@@ -178,10 +182,25 @@ class Index(abc.ABC):
         keys = np.asarray(keys)
         if len(keys) == 0:
             raise SimulationError("cannot trace an empty lookup batch")
-        recorder = TraceRecorder(len(keys))
-        positions = self._traverse(keys, recorder=recorder)
-        trace = recorder.build()
-        simt = self._simt_cost(trace.steps_per_lookup)
+        if not obs.enabled():
+            recorder = TraceRecorder(len(keys))
+            positions = self._traverse(keys, recorder=recorder)
+            trace = recorder.build()
+            simt = self._simt_cost(trace.steps_per_lookup)
+            return LookupResult(positions=positions, trace=trace, simt=simt)
+        with obs.span("index.probe", index=self.name, lookups=len(keys)) as probe:
+            recorder = TraceRecorder(len(keys))
+            positions = self._traverse(keys, recorder=recorder)
+            trace = recorder.build()
+            simt = self._simt_cost(trace.steps_per_lookup)
+            probe.set("steps", trace.num_steps)
+        obs.add("index.traced_lookups", float(len(keys)), index=self.name)
+        obs.add(
+            "index.trace_accesses",
+            float(trace.total_accesses),
+            index=self.name,
+        )
+        obs.add("index.trace_steps", float(trace.num_steps), index=self.name)
         return LookupResult(positions=positions, trace=trace, simt=simt)
 
     def _simt_cost(self, steps_per_lookup: np.ndarray) -> SimtCost:

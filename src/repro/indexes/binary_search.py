@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..data.column import KEY_DTYPE
 from ..data.relation import Relation
 from ..hardware.memory import SystemMemory
@@ -77,7 +78,9 @@ class BinarySearchIndex(Index):
             else 0
         )
         active = lo < hi
+        rounds = 0
         while active.any():
+            rounds += 1
             mid = (lo + hi) >> 1
             if recorder is not None:
                 recorder.record(base + mid * KEY_BYTES, active=active)
@@ -87,6 +90,8 @@ class BinarySearchIndex(Index):
             lo = np.where(go_right, mid + 1, lo)
             hi = np.where(active & ~go_right, mid, hi)
             active = lo < hi
+        if obs.enabled():
+            obs.add("index.search_rounds", float(rounds), index=self.name)
         in_range = lo < n
         # Final verification read of the lower-bound position (the INLJ
         # fetches the candidate match anyway).

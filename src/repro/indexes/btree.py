@@ -33,6 +33,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..config import DEFAULT_BTREE_NODE_BYTES
 from ..data.column import KEY_DTYPE, MaterializedColumn
 from ..data.relation import Relation
@@ -240,6 +241,12 @@ class BPlusTreeIndex(Index):
         self, keys: np.ndarray, recorder: Optional[TraceRecorder]
     ) -> np.ndarray:
         keys = np.asarray(keys, dtype=KEY_DTYPE)
+        if obs.enabled():
+            obs.add(
+                "index.node_visits",
+                float(len(keys) * len(self.level_sizes)),
+                index=self.name,
+            )
         nodes = np.zeros(len(keys), dtype=np.int64)
         for level in range(len(self.level_sizes) - 1):
             child = self._search_internal(level, nodes, keys, recorder)

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..config import DEFAULT_HARMONIA_NODE_KEYS
 from ..data.column import KEY_DTYPE
 from ..data.relation import Relation
@@ -200,6 +201,12 @@ class HarmoniaIndex(Index):
     ) -> np.ndarray:
         keys = np.asarray(keys, dtype=KEY_DTYPE)
         count = len(keys)
+        if obs.enabled():
+            obs.add(
+                "index.node_visits",
+                float(count * len(self.level_sizes)),
+                index=self.name,
+            )
         nodes = np.zeros(count, dtype=np.int64)
         lines_per_node = max(
             1, (self.node_keys * KEY_BYTES + 127) // 128

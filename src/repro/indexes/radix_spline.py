@@ -40,6 +40,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..data.column import KEY_DTYPE, MaterializedColumn, VirtualSortedColumn
 from ..data.relation import Relation
 from ..errors import ConfigurationError, SimulationError
@@ -376,7 +377,9 @@ class RadixSplineIndex(Index):
         lo = seg_lo.astype(np.int64)
         hi = seg_hi.astype(np.int64)
         active = lo < hi
+        spline_rounds = 0
         while active.any():
+            spline_rounds += 1
             mid = (lo + hi) >> 1
             if recorder is not None:
                 recorder.record(
@@ -414,7 +417,9 @@ class RadixSplineIndex(Index):
             else 0
         )
         active = search_lo < search_hi
+        data_rounds = 0
         while active.any():
+            data_rounds += 1
             mid = (search_lo + search_hi) >> 1
             if recorder is not None:
                 recorder.record(base + mid * KEY_BYTES, active=active)
@@ -423,6 +428,17 @@ class RadixSplineIndex(Index):
             search_lo = np.where(go_right, mid + 1, search_lo)
             search_hi = np.where(active & ~go_right, mid, search_hi)
             active = search_lo < search_hi
+        if obs.enabled():
+            obs.add(
+                "index.spline_search_rounds",
+                float(spline_rounds),
+                index=self.name,
+            )
+            obs.add(
+                "index.data_search_rounds",
+                float(data_rounds),
+                index=self.name,
+            )
         in_range = search_lo < n
         if recorder is not None:
             recorder.record(

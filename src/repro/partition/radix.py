@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..hardware.counters import PerfCounters
 from .bits import PartitionBits
@@ -67,13 +68,38 @@ class RadixPartitioner:
                     "source_indices length must match keys: "
                     f"{len(source_indices)} != {len(keys)}"
                 )
-        partitions = self.bits.partition_of(keys)
-        histogram = np.bincount(
-            partitions, minlength=self.bits.num_partitions
-        ).astype(np.int64)
-        offsets = np.zeros(self.bits.num_partitions + 1, dtype=np.int64)
-        np.cumsum(histogram, out=offsets[1:])
-        order = self._stable_order(partitions, len(keys))
+        if not obs.enabled():
+            partitions = self.bits.partition_of(keys)
+            histogram = np.bincount(
+                partitions, minlength=self.bits.num_partitions
+            ).astype(np.int64)
+            offsets = np.zeros(self.bits.num_partitions + 1, dtype=np.int64)
+            np.cumsum(histogram, out=offsets[1:])
+            order = self._stable_order(partitions, len(keys))
+            return PartitionOutput(
+                keys=keys[order],
+                source_indices=source_indices[order],
+                offsets=offsets,
+            )
+        with obs.span(
+            "partition.fanout",
+            partitions=self.bits.num_partitions,
+            tuples=len(keys),
+        ):
+            partitions = self.bits.partition_of(keys)
+            histogram = np.bincount(
+                partitions, minlength=self.bits.num_partitions
+            ).astype(np.int64)
+            offsets = np.zeros(self.bits.num_partitions + 1, dtype=np.int64)
+            np.cumsum(histogram, out=offsets[1:])
+            order = self._stable_order(partitions, len(keys))
+        obs.add("partition.batches")
+        obs.add("partition.tuples", float(len(keys)))
+        obs.add(
+            "partition.occupied_partitions",
+            float(int(np.count_nonzero(histogram))),
+        )
+        obs.observe("partition.batch_tuples", float(len(keys)))
         return PartitionOutput(
             keys=keys[order],
             source_indices=source_indices[order],

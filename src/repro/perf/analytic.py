@@ -43,7 +43,10 @@ def expected_distinct(samples: float, universe: float) -> float:
         return min(1.0, samples)
     # (1 - 1/U)**s == exp(s * log1p(-1/U))
     log_term = samples * math.log1p(-1.0 / universe)
-    return universe * -math.expm1(log_term)
+    # Clamp at the draw count: real sampling can never produce more
+    # distinct values than draws, but the formula's fractional extension
+    # exceeds s for s < 1 (e.g. U=2, s=0.5 gives ~0.586).
+    return min(samples, universe * -math.expm1(log_term))
 
 
 def uniform_lru_misses(

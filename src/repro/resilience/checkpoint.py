@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from dataclasses import is_dataclass
 from typing import Dict, Iterable, Optional
 
+from .. import obs
 from . import faults
 
 #: Environment variable enabling checkpointing outside the CLI flags.
@@ -129,6 +130,15 @@ class SweepCheckpoint:
                     continue
                 self._records[record["task"]] = outcome
         self.stats["loaded"] = len(self._records)
+        if obs.enabled():
+            if self.stats["loaded"]:
+                obs.add(
+                    "checkpoint.loaded", float(self.stats["loaded"])
+                )
+            if self.stats["discarded"]:
+                obs.add(
+                    "checkpoint.discarded", float(self.stats["discarded"])
+                )
 
     def get(self, task_fingerprint: str):
         """The stored outcome for a task, or ``None`` if absent.
@@ -153,9 +163,11 @@ class SweepCheckpoint:
             }
         )
         line = faults.corrupt_text("checkpoint", task_fingerprint, line)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+        with obs.span("checkpoint.write", bytes=len(line) + 1):
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        obs.add("checkpoint.records")
         self._records[task_fingerprint] = outcome
         self.stats["recorded"] += 1
 

@@ -51,7 +51,11 @@ class ExperimentFailure:
         started: float,
         points_completed: Optional[int] = None,
         fatal: bool = True,
+        elapsed_seconds: Optional[float] = None,
     ) -> "ExperimentFailure":
+        """``elapsed_seconds`` overrides the wall clock when the caller has
+        a better source (the runner passes the experiment's phase timing
+        from :mod:`repro.obs`)."""
         return cls(
             name=name,
             stage=stage,
@@ -60,7 +64,11 @@ class ExperimentFailure:
             traceback_text="".join(
                 traceback.format_exception(type(error), error, error.__traceback__)
             ),
-            elapsed_seconds=time.time() - started,
+            elapsed_seconds=(
+                elapsed_seconds
+                if elapsed_seconds is not None
+                else time.time() - started
+            ),
             points_completed=points_completed,
             fatal=fatal,
         )
@@ -88,10 +96,17 @@ class ExperimentFailure:
 
 @dataclass
 class RunReport:
-    """Everything one ``run_all`` produced: results plus failures."""
+    """Everything one ``run_all`` produced: results, timings, failures.
+
+    ``timings`` maps each experiment guard name to its wall time in
+    seconds, sourced from the observability layer's always-on phase
+    measurement (:func:`repro.obs.phase_wall_seconds`), in execution
+    order.
+    """
 
     results: Dict[str, object] = field(default_factory=dict)
     failures: List[ExperimentFailure] = field(default_factory=list)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def ok(self) -> bool:
         return not any(failure.fatal for failure in self.failures)
@@ -111,4 +126,32 @@ class RunReport:
         for failure in self.failures:
             lines.append("")
             lines.append(failure.to_text())
+        return "\n".join(lines)
+
+    def run_summary_text(self) -> str:
+        """Per-experiment wall-time exit summary.
+
+        Separate from :meth:`summary_text` on purpose: the failure
+        summary stays empty (and absent from output) on clean runs --
+        tests and the CI resilience smoke depend on that -- while this
+        timing table renders whenever anything ran.
+        """
+        if not self.timings:
+            return ""
+        failed = {
+            failure.name
+            for failure in self.failures
+            if failure.stage == "experiment"
+        }
+        width = max(len(name) for name in self.timings)
+        lines = ["RUN SUMMARY:"]
+        for name, seconds in self.timings.items():
+            status = "FAILED" if name in failed else "ok"
+            lines.append(f"  {name:<{width}}  {seconds:7.1f}s  {status}")
+        total = sum(self.timings.values())
+        fatal = sum(1 for failure in self.failures if failure.fatal)
+        lines.append(
+            f"  total {total:.1f}s, {len(self.results)} result(s), "
+            f"{fatal} fatal failure(s)"
+        )
         return "\n".join(lines)

@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type
 
+from .. import obs
 from ..errors import (
     CapacityError,
     ConfigurationError,
@@ -160,7 +161,11 @@ def with_retry(
     last_error: Optional[BaseException] = None
     for attempt in range(1, policy.max_attempts + 1):
         if attempt > 1:
-            sleep(policy.backoff(attempt - 1, label))
+            obs.add("resilience.retries")
+            with obs.span(
+                "retry.backoff", attempt=attempt - 1, label=label or "call"
+            ):
+                sleep(policy.backoff(attempt - 1, label))
         try:
             return func()
         except no_retry:

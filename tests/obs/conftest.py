@@ -1,0 +1,30 @@
+"""Shared obs fixtures: every test starts from a clean, disabled layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Reset the global registry/tracer and restore the enabled flag.
+
+    The obs layer is process-global state; tests must not leak counters
+    or a stray enable() into each other (or into the rest of the suite).
+    """
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    obs.enable(was_enabled)
+    obs.reset()
+
+
+@pytest.fixture
+def traced(clean_obs):
+    """Tracing on for the duration of one test."""
+    obs.enable()
+    yield
+    obs.disable()

@@ -1,0 +1,200 @@
+"""The disabled-tracing fast path, and traced-counter exactness.
+
+Three contracts:
+
+* tracing off leaves every simulated result bit-identical (it must --
+  the CI baselines and EXPERIMENTS.md were recorded untraced);
+* tracing off costs almost nothing on the replay hot path (one module
+  global read per batch entry point);
+* tracing on emits op counters that *exactly* match an OrderedDict
+  reference replay of the same stream -- counters are sourced from the
+  models' own hit/miss accounting, never re-derived.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.config import SimulationConfig
+from repro.gpu.executor import LookupTrace, MachineModel
+from repro.hardware.cache import LruCache, SetAssociativeCache
+from repro.hardware.fastlru import (
+    VectorLruCache,
+    VectorLruTlb,
+    VectorSetAssociativeCache,
+)
+from repro.hardware.spec import V100_NVLINK2
+from repro.hardware.tlb import LruTlb
+
+
+def random_trace(steps=4, lookups=2048, seed=7, span_bytes=1 << 26):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, span_bytes, size=(steps, lookups), dtype=np.int64)
+    return LookupTrace(
+        step_addresses=matrix,
+        steps_per_lookup=np.full(lookups, steps, dtype=np.int64),
+    )
+
+
+def machine(fast=True):
+    sim = SimulationConfig(probe_sample=2**10, fast_replay=fast)
+    return MachineModel(V100_NVLINK2, sim)
+
+
+class TestEnvironmentSwitch:
+    def test_repro_trace_env_controls_enablement(self, monkeypatch):
+        monkeypatch.setenv(obs.TRACE_ENV, "1")
+        assert obs.configure_from_env() is True
+        for falsy in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv(obs.TRACE_ENV, falsy)
+            assert obs.configure_from_env() is False
+        monkeypatch.delenv(obs.TRACE_ENV)
+        assert obs.configure_from_env() is False
+
+
+class TestTracingDoesNotPerturbResults:
+    def test_replay_counters_identical_traced_or_not(self):
+        trace = random_trace()
+        untraced_machine = machine()
+        untraced = untraced_machine.simulate_lookups(trace)
+        obs.enable()
+        traced_machine = machine()
+        traced = traced_machine.simulate_lookups(trace)
+        obs.disable()
+        assert traced.as_dict() == untraced.as_dict()
+
+    def test_model_hit_masks_identical_traced_or_not(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 600, 20000)
+        plain = VectorLruCache(512 * 32, 32)
+        named = VectorLruCache(512 * 32, 32)
+        named.obs_name = "probe"
+        baseline = plain.access_batch(stream)
+        obs.enable()
+        traced = named.access_batch(stream)
+        obs.disable()
+        np.testing.assert_array_equal(traced, baseline)
+
+
+class TestDisabledOverhead:
+    def test_instrumented_entry_point_overhead_under_5_percent(self):
+        """simulate_lookups vs its private body, tracing off.
+
+        The public wrapper pays exactly one ``obs.enabled()`` check
+        before delegating; on a realistic batch that must disappear into
+        the noise.  Min-of-N timing on both sides; retried to keep CI
+        scheduling jitter from failing a healthy fast path.
+        """
+        assert not obs.enabled()
+        trace = random_trace(steps=4, lookups=4096)
+        sim = machine()
+
+        def timed(func, repeats=5, calls=3):
+            best = float("inf")
+            for _ in range(repeats):
+                sim.reset_hierarchy()
+                started = time.perf_counter()
+                for _ in range(calls):
+                    func()
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        for _ in range(3):
+            raw = timed(lambda: sim._replay(trace, True, None, False))
+            wrapped = timed(lambda: sim.simulate_lookups(trace))
+            if wrapped <= raw * 1.05:
+                break
+        else:
+            pytest.fail(
+                f"disabled-tracing overhead above 5%: raw={raw:.6f}s "
+                f"wrapped={wrapped:.6f}s"
+            )
+
+
+def reference_hits(model, keys):
+    return sum(1 for key in keys if model.access(int(key)))
+
+
+class TestTracedCountersMatchOracle:
+    """model.* counters vs an OrderedDict reference replaying the stream."""
+
+    line_bytes = 32
+
+    def test_lru_cache_counters_exact(self, traced):
+        rng = np.random.default_rng(11)
+        stream = rng.integers(0, 700, 20000)
+        vector = VectorLruCache(512 * self.line_bytes, self.line_bytes)
+        vector.obs_name = "probe"
+        vector.access_batch(stream)
+        oracle = LruCache(512 * self.line_bytes, self.line_bytes)
+        hits = reference_hits(oracle, stream)
+        assert obs.counter("model.probe.accesses") == len(stream)
+        assert obs.counter("model.probe.hits") == hits
+        assert obs.counter("model.probe.misses") == len(stream) - hits
+
+    def test_set_associative_counters_exact(self, traced):
+        rng = np.random.default_rng(12)
+        stream = rng.integers(0, 3000, 30000)
+        capacity = 64 * 16 * self.line_bytes  # 64 sets x 16 ways
+        vector = VectorSetAssociativeCache(capacity, self.line_bytes, ways=16)
+        vector.obs_name = "probe"
+        vector.access_batch(stream)
+        oracle = SetAssociativeCache(capacity, self.line_bytes, ways=16)
+        hits = reference_hits(oracle, stream)
+        assert obs.counter("model.probe.accesses") == len(stream)
+        assert obs.counter("model.probe.hits") == hits
+        assert obs.counter("model.probe.misses") == len(stream) - hits
+
+    def test_tlb_counters_exact_including_cold(self, traced):
+        rng = np.random.default_rng(13)
+        pages = rng.integers(0, 96, 8000)
+        vector = VectorLruTlb(64)
+        vector.obs_name = "probe"
+        vector.access_batch(pages)
+        oracle = LruTlb(64)
+        hits = reference_hits(oracle, pages)
+        assert obs.counter("model.probe.accesses") == len(pages)
+        assert obs.counter("model.probe.hits") == hits
+        assert obs.counter("model.probe.misses") == len(pages) - hits
+        assert obs.counter("model.probe.cold_misses") == oracle.cold_misses
+
+    def test_batched_accesses_accumulate(self, traced):
+        rng = np.random.default_rng(14)
+        stream = rng.integers(0, 700, 6000)
+        vector = VectorLruCache(512 * self.line_bytes, self.line_bytes)
+        vector.obs_name = "probe"
+        for lo in range(0, len(stream), 1000):
+            vector.access_batch(stream[lo : lo + 1000])
+        assert obs.counter("model.probe.accesses") == len(stream)
+        assert obs.counter("model.probe.hits") == vector.hits
+        assert obs.counter("model.probe.misses") == vector.misses
+
+
+class TestReplayCountersAcrossEngines:
+    def test_fast_and_reference_replay_emit_identical_counters(self, traced):
+        """The replay.* counters gate CI; they must not depend on which
+        replay engine ran.  Sourced from the returned PerfCounters, they
+        are identical by the engines' exactness contract."""
+        trace = random_trace(steps=3, lookups=1024, span_bytes=1 << 24)
+        fast = machine(fast=True).simulate_lookups(trace)
+        fast_snapshot = obs.snapshot()["counters"]
+        obs.reset()
+        reference = machine(fast=False).simulate_lookups(trace)
+        reference_snapshot = obs.snapshot()["counters"]
+        assert fast.as_dict() == reference.as_dict()
+        fast_replay = {
+            key: value
+            for key, value in fast_snapshot.items()
+            if key.startswith("replay.")
+        }
+        reference_replay = {
+            key: value
+            for key, value in reference_snapshot.items()
+            if key.startswith("replay.")
+        }
+        assert fast_replay == reference_replay
+        assert fast_replay["replay.lookups"] == trace.num_lookups

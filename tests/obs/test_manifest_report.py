@@ -1,0 +1,200 @@
+"""Manifests: build/write/load/diff, and the ``repro obs report`` CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import build_manifest
+from repro.obs.manifest import (
+    SCHEMA,
+    diff_manifests,
+    load_manifest,
+    write_manifest,
+)
+from repro.obs.report import format_report, run_report
+
+
+def record_run(ops=10.0):
+    """One synthetic two-phase traced run in the global registry/tracer."""
+    obs.reset()
+    with obs.phase("fig5"):
+        with obs.span("replay.simulate"):
+            pass
+        obs.add("replay.ops", ops)
+        obs.observe("batch.tuples", 4096.0)
+    with obs.phase("fig7"):
+        obs.add("partition.tuples", 512.0)
+    return build_manifest(run_info={"experiments": ["fig5", "fig7"]})
+
+
+class TestBuildManifest:
+    def test_sections_present(self):
+        obs.enable()
+        manifest = record_run()
+        assert manifest["schema"] == SCHEMA
+        assert manifest["run"] == {"experiments": ["fig5", "fig7"]}
+        assert manifest["counters"]["replay.ops"] == 10.0
+        assert list(manifest["phases"]) == ["fig5", "fig7"]
+        fig5 = manifest["phases"]["fig5"]
+        assert fig5["counters"] == {"replay.ops": 10.0}
+        assert fig5["wall_seconds"] >= 0.0
+        assert fig5["entered"] == 1
+        assert manifest["spans"]["replay.simulate"]["count"] == 1
+        assert manifest["dropped_spans"] == 0
+
+    def test_phase_narrowing(self):
+        obs.enable()
+        record_run()
+        narrowed = build_manifest(
+            run_info={"experiment": "fig5"}, phase="fig5"
+        )
+        # The phase's counters become the top-level counters; the other
+        # phase, run-wide histograms, and gauges disappear.
+        assert narrowed["counters"] == {"replay.ops": 10.0}
+        assert list(narrowed["phases"]) == ["fig5"]
+        assert narrowed["histograms"] == {}
+        assert list(narrowed["spans"]) == ["replay.simulate"]
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        obs.enable()
+        record_run()
+        path = os.path.join(str(tmp_path), "nested", "metrics.json")
+        assert obs.write_manifest(path) == path
+        loaded = load_manifest(path)
+        assert loaded["counters"]["replay.ops"] == 10.0
+
+    def test_output_is_stable_json(self, tmp_path):
+        obs.enable()
+        record_run()
+        path = str(tmp_path / "metrics.json")
+        write_manifest(path, obs.registry(), obs.tracer())
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema"] == SCHEMA
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        path = str(tmp_path / "not_manifest.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"hello": 1}, handle)
+        with pytest.raises(ValueError):
+            load_manifest(path)
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = str(tmp_path / "alien.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"schema": "other-tool/3"}, handle)
+        with pytest.raises(ValueError):
+            load_manifest(path)
+
+
+class TestDiffManifests:
+    def test_identical_runs_no_drift(self):
+        obs.enable()
+        base = record_run()
+        current = record_run()
+        assert diff_manifests(base, current) == []
+
+    def test_timing_and_run_metadata_ignored(self):
+        obs.enable()
+        base = record_run()
+        current = record_run()
+        current["phases"]["fig5"]["wall_seconds"] = 9999.0
+        current["spans"]["replay.simulate"]["total_seconds"] = 9999.0
+        current["run"] = {"experiments": ["something", "else"]}
+        assert diff_manifests(base, current) == []
+
+    def test_counter_drift_caught(self):
+        obs.enable()
+        base = record_run(ops=10.0)
+        current = record_run(ops=11.0)
+        drifts = diff_manifests(base, current)
+        assert drifts
+        assert any("replay.ops" in drift.key for drift in drifts)
+
+
+class ManifestFiles:
+    """Two manifest files on disk, identical or drifted."""
+
+    @pytest.fixture
+    def paths(self, tmp_path):
+        obs.enable()
+        record_run(ops=10.0)
+        base = str(tmp_path / "base.json")
+        write_manifest(base, obs.registry(), obs.tracer())
+        record_run(ops=self.current_ops)
+        current = str(tmp_path / "current.json")
+        write_manifest(current, obs.registry(), obs.tracer())
+        return base, current
+
+
+class TestReportRender(ManifestFiles):
+    current_ops = 10.0
+
+    def test_render_single_manifest(self, paths):
+        stream = io.StringIO()
+        assert run_report([paths[0]], stream=stream) == 0
+        text = stream.getvalue()
+        assert "replay.ops" in text
+        assert "fig5" in text
+
+    def test_format_report_empty_manifest(self):
+        assert "empty manifest" in format_report({})
+
+    def test_usage_errors_exit_2(self, paths):
+        stream = io.StringIO()
+        assert run_report(list(paths), stream=stream) == 2  # two, no --diff
+        assert run_report([paths[0]], diff=True, stream=stream) == 2
+
+
+class TestReportDiffClean(ManifestFiles):
+    current_ops = 10.0
+
+    def test_clean_diff_exits_0(self, paths):
+        stream = io.StringIO()
+        code = run_report(
+            list(paths), diff=True, fail_on_drift=True, stream=stream
+        )
+        assert code == 0
+        assert "no drift" in stream.getvalue()
+
+
+class TestReportDiffDrift(ManifestFiles):
+    current_ops = 11.0
+
+    def test_drift_reported_but_tolerated_without_flag(self, paths):
+        stream = io.StringIO()
+        assert run_report(list(paths), diff=True, stream=stream) == 0
+        assert "DRIFT" in stream.getvalue()
+
+    def test_fail_on_drift_exits_1(self, paths):
+        stream = io.StringIO()
+        code = run_report(
+            list(paths), diff=True, fail_on_drift=True, stream=stream
+        )
+        assert code == 1
+        assert "replay.ops" in stream.getvalue()
+
+
+class TestCli:
+    def test_repro_obs_report_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        obs.enable()
+        record_run()
+        path = str(tmp_path / "metrics.json")
+        write_manifest(path, obs.registry(), obs.tracer())
+        assert main(["obs", "report", path]) == 0
+        assert "replay.ops" in capsys.readouterr().out
+
+    def test_missing_manifest_is_a_usage_error(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        missing = str(tmp_path / "nope.json")
+        assert main(["obs", "report", missing]) == 2

@@ -1,0 +1,157 @@
+"""Runner integration: manifests, the RUN SUMMARY, and figure identity."""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+
+import pytest
+
+from repro import obs
+from repro.experiments.runner import run_report
+from repro.obs.manifest import load_manifest
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+
+#: Wall-clock lines vary run to run; everything else must not.
+_TIMING_LINE = re.compile(r"^\s*\[.* took .*s\]$|^ {2}\S.*\d+\.\ds\s+(ok|FAILED)$")
+
+
+def stable_output(text: str) -> str:
+    lines = [
+        line
+        for line in text.splitlines()
+        if not _TIMING_LINE.match(line)
+        and not line.startswith("[trace manifest written")
+        and not line.startswith("  total ")
+    ]
+    return "\n".join(lines)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestTracedRun:
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        out_dir = str(tmp_path_factory.mktemp("traced"))
+        stream = io.StringIO()
+        was_enabled = obs.enabled()
+        report = run_report(
+            ["table1", "fig7"],
+            quick=True,
+            stream=stream,
+            output_dir=out_dir,
+            trace=True,
+        )
+        obs.enable(was_enabled)
+        return report, stream.getvalue(), out_dir
+
+    def test_run_summary_rendered(self, traced_run):
+        report, output, _ = traced_run
+        assert "RUN SUMMARY:" in output
+        assert list(report.timings) == ["table1", "fig7"]
+        assert all(seconds >= 0.0 for seconds in report.timings.values())
+
+    def test_run_manifest_written(self, traced_run):
+        _, output, out_dir = traced_run
+        path = os.path.join(out_dir, "metrics.json")
+        assert "[trace manifest written to" in output
+        manifest = load_manifest(path)
+        assert manifest["run"]["experiments"] == ["fig7", "table1"]
+        assert manifest["counters"]  # replay/index/model ops landed
+        assert "replay.lookups" in manifest["counters"]
+        assert set(manifest["phases"]) == {"table1", "fig7"}
+
+    def test_per_experiment_manifest_matches_run_phase(self, traced_run):
+        _, _, out_dir = traced_run
+        run_manifest = load_manifest(os.path.join(out_dir, "metrics.json"))
+        fig7 = load_manifest(os.path.join(out_dir, "fig7.metrics.json"))
+        # The narrowed manifest's counters are exactly the run manifest's
+        # fig7 phase section.
+        assert fig7["counters"] == run_manifest["phases"]["fig7"]["counters"]
+        assert list(fig7["phases"]) == ["fig7"]
+        assert fig7["run"] == {"experiment": "fig7"}
+
+
+class TestUntracedRun:
+    def test_no_manifest_and_obs_stays_disabled(self, tmp_path):
+        stream = io.StringIO()
+        report = run_report(
+            ["table1"],
+            quick=True,
+            stream=stream,
+            output_dir=str(tmp_path),
+            trace=False,
+        )
+        assert not obs.enabled()
+        assert not os.path.exists(str(tmp_path / "metrics.json"))
+        # Phase timing is always on: the exit summary renders regardless.
+        assert "RUN SUMMARY:" in stream.getvalue()
+        assert list(report.timings) == ["table1"]
+
+    def test_figure_output_identical_traced_and_untraced(self, tmp_path):
+        """Tracing must be observation only: same figures, byte for byte."""
+        untraced_stream = io.StringIO()
+        untraced = run_report(
+            ["fig7"], quick=True, stream=untraced_stream, trace=False
+        )
+        traced_stream = io.StringIO()
+        traced = run_report(
+            ["fig7"],
+            quick=True,
+            stream=traced_stream,
+            trace=True,
+            trace_file=str(tmp_path / "metrics.json"),
+        )
+        obs.disable()
+        assert untraced.results["fig7"].to_text() == traced.results[
+            "fig7"
+        ].to_text()
+        untraced_hash = hashlib.sha256(
+            stable_output(untraced_stream.getvalue()).encode()
+        ).hexdigest()
+        traced_hash = hashlib.sha256(
+            stable_output(traced_stream.getvalue()).encode()
+        ).hexdigest()
+        assert untraced_hash == traced_hash
+
+
+class TestFailureTiming:
+    def test_failure_elapsed_sourced_from_phase_and_summarized(self):
+        faults.install(
+            FaultPlan(kind="raise", site="experiment", at=0, match="fig7")
+        )
+        stream = io.StringIO()
+        report = run_report(
+            ["table1", "fig7"], quick=True, stream=stream, trace=False
+        )
+        output = stream.getvalue()
+        (failure,) = report.failures
+        # The failed experiment still gets a phase timing, and the
+        # failure's elapsed time is that same measurement.
+        assert "fig7" in report.timings
+        assert failure.elapsed_seconds == report.timings["fig7"]
+        assert "RUN SUMMARY:" in output
+        assert re.search(r"fig7\s+\d+\.\ds\s+FAILED", output)
+        assert re.search(r"table1\s+\d+\.\ds\s+ok", output)
+        assert "FAILURE SUMMARY" in output
+
+
+class TestTraceFileEnv:
+    def test_trace_file_env_sets_manifest_target(self, tmp_path, monkeypatch):
+        target = str(tmp_path / "env_metrics.json")
+        monkeypatch.setenv(obs.TRACE_FILE_ENV, target)
+        stream = io.StringIO()
+        run_report(["table1"], quick=True, stream=stream, trace=True)
+        obs.disable()
+        assert os.path.exists(target)
+        with open(target, encoding="utf-8") as handle:
+            assert json.load(handle)["schema"].startswith("repro-obs-manifest/")
