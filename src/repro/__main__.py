@@ -10,6 +10,9 @@ Commands:
   workload and print the EXPLAIN output;
 * ``obs report [manifests...]`` -- render or diff ``metrics.json``
   observability manifests emitted by ``experiments --trace``;
+* ``lint [paths...] [--fail-on-findings] [--format json]`` -- run the
+  AST-based invariant checker (determinism, unit, and instrumentation
+  rules) over the tree;
 * ``info`` -- library, machine-preset, and index overview.
 """
 
@@ -83,6 +86,12 @@ def cmd_obs(args) -> int:
         fail_on_drift=args.fail_on_drift,
         rel_tol=args.rel_tol,
     )
+
+
+def cmd_lint(args) -> int:
+    from .analysis.cli import run_lint
+
+    return run_lint(args)
 
 
 def cmd_bench(args) -> int:
@@ -164,6 +173,13 @@ def main(argv=None) -> int:
 
     add_report_arguments(obs_report)
 
+    lint = subparsers.add_parser(
+        "lint", help="AST-based invariant checks (determinism, units, obs)"
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     plan = subparsers.add_parser(
         "plan", help="cost-based access-path selection for one workload"
     )
@@ -186,6 +202,13 @@ def main(argv=None) -> int:
             return cmd_experiments(args)
         if args.command == "bench":
             return cmd_bench(args)
+        if args.command == "lint":
+            try:
+                return cmd_lint(args)
+            except (OSError, ValueError) as error:
+                # Unreadable or malformed baseline files, unknown rules.
+                print(f"error: {error}", file=sys.stderr)
+                return 2
         if args.command == "plan":
             return cmd_plan(args)
         if args.command == "obs":

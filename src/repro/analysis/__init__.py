@@ -1,0 +1,66 @@
+"""AST-based invariant checking: ``repro lint``.
+
+The reproduction's credibility rests on invariants that runtime gates
+(the 1e-9 manifest drift tolerance, the exact-counter oracle tests) can
+only catch *after* a regression ships: bit-identical determinism, unit
+discipline, and instrumentation contracts.  This package checks them
+statically, before a sweep ever runs.
+
+Architecture
+------------
+
+* :mod:`repro.analysis.findings` -- the :class:`Finding` record and
+  severities.
+* :mod:`repro.analysis.engine` -- the rule registry, per-file visitor
+  driver, cross-file passes, and ``# repro: noqa[RULE-ID]``
+  suppressions (parsed from real comment tokens, so string literals
+  never suppress anything).
+* :mod:`repro.analysis.baseline` -- the committed grandfather file:
+  findings are fingerprinted by ``(rule, path, stripped source line)``
+  so baselines survive unrelated line-number churn.
+* :mod:`repro.analysis.rules` -- the codebase-specific rules
+  (``DET*``, ``UNIT*``, ``OBS*``, ``NP*``, ``RES*``).  Importing the
+  subpackage registers them.
+* :mod:`repro.analysis.cli` -- the ``repro lint`` subcommand: text or
+  ``--format json`` output, ``--fail-on-findings`` exit semantics
+  mirroring ``repro obs report``.
+
+Typical use::
+
+    repro lint src/ --fail-on-findings --format json
+
+Programmatic use::
+
+    from repro.analysis import lint_paths
+
+    run = lint_paths(["src"])
+    for finding in run.findings:
+        print(finding.format_text())
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import (
+    FileContext,
+    LintRun,
+    Rule,
+    all_rules,
+    lint_paths,
+    register,
+    rule_table,
+)
+from .findings import Finding, Severity
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintRun",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "rule_table",
+]

@@ -1,0 +1,96 @@
+"""The committed grandfather file for ``repro lint``.
+
+A baseline lets the linter land as a hard CI gate even when the tree
+has known, not-yet-fixed findings: each entry absorbs exactly one
+matching finding, and anything new still fails the build.  The policy
+for this repository is a **zero-entry baseline** -- every entry that
+does exist must carry a ``todo`` pointing at the tracking issue, and
+the self-lint test asserts the file stays justified.
+
+Entries match findings by ``(rule, path, stripped source line)``, never
+by line number, so unrelated edits above a grandfathered line do not
+invalidate the baseline.  Duplicate identical lines need one entry
+each (multiset semantics) -- a second copy of a grandfathered sin is a
+new finding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+SCHEMA = "repro-lint-baseline/1"
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: List[dict]):
+        self.entries = entries
+        self._budget: Dict[_Key, int] = {}
+        for entry in entries:
+            key = (
+                str(entry.get("rule", "")),
+                str(entry.get("path", "")),
+                str(entry.get("code", "")),
+            )
+            self._budget[key] = self._budget.get(key, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def absorb(self, finding: Finding) -> bool:
+        """Consume one budget slot for a matching finding, if any."""
+        key = finding.fingerprint()
+        remaining = self._budget.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._budget[key] = remaining - 1
+        return True
+
+    def unjustified(self) -> List[dict]:
+        """Entries missing their mandatory ``todo`` link."""
+        return [
+            entry for entry in self.entries if not str(entry.get("todo", "")).strip()
+        ]
+
+    @staticmethod
+    def empty() -> "Baseline":
+        return Baseline([])
+
+    @staticmethod
+    def load(path: str) -> "Baseline":
+        """Read a baseline file; raises ``ValueError`` on a non-baseline."""
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict) or document.get("schema") != SCHEMA:
+            raise ValueError(f"{path} is not a {SCHEMA} file")
+        entries = document.get("findings")
+        if not isinstance(entries, list):
+            raise ValueError(f"{path} has no findings list")
+        return Baseline([entry for entry in entries if isinstance(entry, dict)])
+
+    @staticmethod
+    def document(findings: List[Finding]) -> dict:
+        """JSON-ready baseline capturing ``findings`` (``--write-baseline``).
+
+        Each entry's ``todo`` starts empty on purpose: the workflow is
+        to write the baseline, then justify every line by hand before
+        committing (the self-lint test rejects blank ``todo`` fields).
+        """
+        return {
+            "schema": SCHEMA,
+            "findings": [
+                {
+                    "rule": finding.rule_id,
+                    "path": finding.path,
+                    "code": finding.source_line,
+                    "todo": "",
+                }
+                for finding in sorted(findings, key=Finding.sort_key)
+            ],
+        }

@@ -1,0 +1,158 @@
+"""The ``repro lint`` subcommand.
+
+Exit semantics mirror ``repro obs report``: findings print but exit 0
+unless ``--fail-on-findings`` is given (CI passes it; interactive use
+usually wants the listing without a red shell).  Unreadable files and
+syntax errors always exit 2 -- a lint run that could not see the code
+must never be reported green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, TextIO
+
+from .baseline import Baseline
+from .engine import LintRun, lint_paths, rule_table
+
+
+#: Baseline picked up automatically when present in the working tree.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+OUTPUT_SCHEMA = "repro-lint/1"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is what CI archives)",
+    )
+    parser.add_argument(
+        "--fail-on-findings", action="store_true",
+        help="exit 1 when any non-baselined finding remains",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"grandfather file (default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file, report everything",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write current findings as a baseline and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Baseline.load(args.baseline)
+    if os.path.exists(DEFAULT_BASELINE):
+        return Baseline.load(DEFAULT_BASELINE)
+    return None
+
+
+def _render_text(run: LintRun, out: TextIO) -> None:
+    for path, message in run.errors:
+        out.write(f"{path}: error: {message}\n")
+    for finding in run.findings:
+        out.write(finding.format_text() + "\n")
+        if finding.source_line:
+            out.write(f"    {finding.source_line}\n")
+    summary = (
+        f"{run.files_checked} files checked: {len(run.findings)} finding(s), "
+        f"{len(run.suppressed)} suppressed, {len(run.baselined)} baselined"
+    )
+    if run.errors:
+        summary += f", {len(run.errors)} unparsable file(s)"
+    out.write(summary + "\n")
+
+
+def _render_json(run: LintRun, out: TextIO) -> None:
+    document = {
+        "schema": OUTPUT_SCHEMA,
+        "files_checked": run.files_checked,
+        "findings": [finding.to_dict() for finding in run.findings],
+        "suppressed": [finding.to_dict() for finding in run.suppressed],
+        "baselined": [finding.to_dict() for finding in run.baselined],
+        "errors": [
+            {"path": path, "message": message} for path, message in run.errors
+        ],
+        "rules": [
+            {"rule": rule_id, "severity": severity, "summary": summary}
+            for rule_id, severity, summary in rule_table()
+        ],
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def run_lint(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
+    """Execute ``repro lint`` for parsed arguments; returns the exit code."""
+    stream: TextIO = out if out is not None else sys.stdout
+    if args.list_rules:
+        for rule_id, severity, summary in rule_table():
+            stream.write(f"{rule_id:>8}  {severity:<7}  {summary}\n")
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+
+    if args.write_baseline is not None:
+        run = lint_paths(args.paths, select=select, baseline=None)
+        document = Baseline.document(run.findings)
+        # The baseline is metadata, not a durable artifact of a long run,
+        # but it goes through the atomic helper like everything else.
+        from ..ioutil import atomic_write_json
+
+        atomic_write_json(args.write_baseline, document)
+        stream.write(
+            f"wrote {len(run.findings)} finding(s) to {args.write_baseline}; "
+            "fill in every 'todo' before committing\n"
+        )
+        return 0
+
+    baseline = _resolve_baseline(args)
+    run = lint_paths(args.paths, select=select, baseline=baseline)
+
+    if args.format == "json":
+        _render_json(run, stream)
+    else:
+        _render_text(run, stream)
+
+    if run.errors:
+        return 2
+    if run.findings and args.fail_on_findings:
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description=__doc__
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,315 @@
+"""Rule engine: registry, per-file AST driver, suppressions.
+
+The engine parses each file once, hands the tree to every selected
+rule, then runs each rule's cross-file ``finish_run`` pass (rules like
+``OBS001`` correlate string literals across the whole tree).  Findings
+flow through two filters before they reach the user:
+
+1. **Suppressions** -- ``# repro: noqa[RULE-ID]`` (or a bare
+   ``# repro: noqa``) on the finding's line.  Comments are read from
+   :mod:`tokenize` tokens, so the marker inside a string literal never
+   suppresses anything.
+2. **Baseline** -- grandfathered findings matched by ``(rule, path,
+   stripped line)`` (see :mod:`repro.analysis.baseline`).
+
+Rules register themselves with :func:`register`; importing
+:mod:`repro.analysis.rules` pulls in the whole shipped set.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from .baseline import Baseline
+from .findings import Finding, Severity
+
+#: ``# repro: noqa`` or ``# repro: noqa[DET001]`` / ``noqa[DET001,OBS002]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?", re.ASCII
+)
+
+#: Sentinel meaning "every rule suppressed on this line".
+_ALL_RULES = "*"
+
+
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    def __init__(self, path: str, display_path: str, source: str, tree: ast.Module):
+        self.path = path  #: filesystem path as given
+        self.display_path = display_path  #: repo-relative posix path
+        self.source = source
+        self.tree = tree
+        self.lines: List[str] = source.splitlines()
+
+    def source_line(self, lineno: int) -> str:
+        """Stripped text of a 1-based line ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def in_module(self, *suffixes: str) -> bool:
+        """Whether this file's posix path ends with any given suffix.
+
+        Rules use this for allowlists (``ctx.in_module("repro/obs/
+        tracing.py")``) so matching is independent of the checkout
+        root or the path the user passed on the command line.
+        """
+        return any(self.display_path.endswith(suffix) for suffix in suffixes)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a finding for ``node`` with this file's coordinates."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            path=self.display_path,
+            line=lineno,
+            col=col,
+            message=message,
+            source_line=self.source_line(lineno),
+        )
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id`, :attr:`severity`, and
+    :attr:`summary`, and implement :meth:`check_file`.  Rules needing a
+    whole-tree view accumulate state in :meth:`check_file` and emit
+    from :meth:`finish_run`.  One instance is created per lint run, so
+    instance state never leaks between runs.
+    """
+
+    rule_id: str = ""
+    severity: Severity = Severity.ERROR
+    #: One-line description shown by ``repro lint --list-rules``.
+    summary: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finish_run(self) -> Iterable[Finding]:
+        """Cross-file pass, called once after every file was checked."""
+        return ()
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the subpackage triggers every @register decorator.
+    from . import rules  # noqa: F401  (import-for-side-effect)
+
+
+def all_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Fresh instances of the registered rules, optionally filtered."""
+    _ensure_rules_loaded()
+    if select is not None:
+        unknown = sorted(set(select) - set(_REGISTRY))
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
+    wanted = set(select) if select is not None else set(_REGISTRY)
+    return [cls() for rule_id, cls in sorted(_REGISTRY.items()) if rule_id in wanted]
+
+
+def rule_table() -> List[Tuple[str, str, str]]:
+    """``(rule_id, severity, summary)`` rows for ``--list-rules``."""
+    _ensure_rules_loaded()
+    return [
+        (rule_id, cls.severity.value, cls.summary)
+        for rule_id, cls in sorted(_REGISTRY.items())
+    ]
+
+
+# ----------------------------------------------------------------------
+# Suppressions.
+# ----------------------------------------------------------------------
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there.
+
+    Only real comment tokens count.  A bare ``# repro: noqa`` maps to
+    ``{"*"}``.  Unreadable source (tokenizer errors on code the AST
+    parser accepted) yields no suppressions rather than crashing the
+    run.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            ids = (
+                {part.strip() for part in rules.split(",") if part.strip()}
+                if rules
+                else {_ALL_RULES}
+            )
+            suppressed.setdefault(token.start[0], set()).update(ids)
+    except (tokenize.TokenError, IndentationError):
+        return {}
+    return suppressed
+
+
+def is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+    ids = suppressions.get(finding.line)
+    if not ids:
+        return False
+    return _ALL_RULES in ids or finding.rule_id in ids
+
+
+# ----------------------------------------------------------------------
+# Driver.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintRun:
+    """The outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings dropped by an inline ``# repro: noqa`` marker.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Findings absorbed by the baseline file.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Files that could not be read or parsed: ``(path, message)``.
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under each path (files pass through as-is)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(root, filename)
+
+
+def display_path(path: str) -> str:
+    """Repo-relative posix form used in findings and baselines."""
+    rel = os.path.relpath(path)
+    return rel.replace(os.sep, "/")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintRun:
+    """Run the selected rules over every Python file under ``paths``."""
+    rules = all_rules(select)
+    run = LintRun()
+    raw: List[Tuple[Finding, Dict[int, Set[str]]]] = []
+    file_suppressions: Dict[str, Dict[int, Set[str]]] = {}
+
+    for path in iter_python_files(paths):
+        shown = display_path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            run.errors.append((shown, f"unreadable: {error}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            run.errors.append((shown, f"syntax error: {error.msg} (line {error.lineno})"))
+            continue
+        run.files_checked += 1
+        suppressions = parse_suppressions(source)
+        file_suppressions[shown] = suppressions
+        ctx = FileContext(path, shown, source, tree)
+        for rule in rules:
+            for finding in rule.check_file(ctx):
+                raw.append((finding, suppressions))
+
+    # Cross-file passes: suppressions are looked up by the finding's path
+    # (the emitting rule saw the file earlier in this run).
+    for rule in rules:
+        for finding in rule.finish_run():
+            raw.append((finding, file_suppressions.get(finding.path, {})))
+
+    for finding, suppressions in raw:
+        if is_suppressed(finding, suppressions):
+            run.suppressed.append(finding)
+        elif baseline is not None and baseline.absorb(finding):
+            run.baselined.append(finding)
+        else:
+            run.findings.append(finding)
+
+    run.findings.sort(key=Finding.sort_key)
+    run.suppressed.sort(key=Finding.sort_key)
+    run.baselined.sort(key=Finding.sort_key)
+    return run
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rules.
+# ----------------------------------------------------------------------
+
+
+def walk_with_ancestors(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Yield every node with its ancestor chain (outermost first)."""
+    stack: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+        yield node, tuple(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    return visit(tree)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

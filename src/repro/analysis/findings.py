@@ -1,0 +1,63 @@
+"""The finding record every rule emits.
+
+A finding pins one invariant violation to a file and line.  It carries
+the stripped source line so the baseline can match it independent of
+line numbers (see :mod:`repro.analysis.baseline`) and so the text
+renderer can show context without re-reading files.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit gate.
+
+    Both severities fail ``--fail-on-findings``; the split exists so
+    output can rank hard determinism breaks above softer contract
+    drift, and so future rules can ship as warnings first.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at a specific source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based line of the offending node
+    col: int  #: 0-based column of the offending node
+    message: str
+    source_line: str  #: stripped text of ``line`` (baseline fingerprint)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-number-independent identity used by the baseline."""
+        return (self.rule_id, self.path, self.source_line)
+
+    def format_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready form (``--format json`` and CI artifacts)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "source_line": self.source_line,
+        }

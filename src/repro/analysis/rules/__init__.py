@@ -1,0 +1,25 @@
+"""The shipped rule set.  Importing this package registers every rule.
+
+Rule id prefixes group by invariant family:
+
+* ``DET`` -- bit-identical determinism (RNG seeding, wall clock,
+  unordered iteration);
+* ``UNIT`` -- byte-unit discipline (:mod:`repro.units` owns the
+  constants);
+* ``OBS`` -- instrumentation contracts (:mod:`repro.obs` naming and
+  the branch-cheap disabled path);
+* ``NP`` -- numpy dtype discipline in index math;
+* ``RES`` -- durable-artifact crash safety (:mod:`repro.ioutil`).
+"""
+
+from __future__ import annotations
+
+from . import determinism, numpy_ops, obs_contracts, resilience, units_discipline
+
+__all__ = [
+    "determinism",
+    "numpy_ops",
+    "obs_contracts",
+    "resilience",
+    "units_discipline",
+]

@@ -1,0 +1,93 @@
+"""NP001: float contamination in integer index math.
+
+Key arrays are ``int64`` end to end -- keys, positions, partition ids.
+True division (``/``) silently promotes them to ``float64``, which
+rounds above 2**53 (well inside the paper's 2**33-key relations) and
+makes downstream indexing dtype-dependent.  The classic shapes are
+``int(a / b)`` and ``(a / b).astype(np.int64)`` where ``a // b`` was
+meant; both are flagged everywhere in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule, dotted_name, register
+from ..findings import Finding, Severity
+
+#: astype targets that truncate a float back to integers.
+_INT_DTYPES = frozenset(
+    {
+        "int",
+        "numpy.int64",
+        "numpy.int32",
+        "numpy.intp",
+        "numpy.uint64",
+        "numpy.uint32",
+        "np.int64",
+        "np.int32",
+        "np.intp",
+        "np.uint64",
+        "np.uint32",
+    }
+)
+_INT_DTYPE_STRINGS = frozenset({"int64", "int32", "intp", "uint64", "uint32", "int"})
+
+
+def _is_int_dtype_arg(node: ast.AST) -> bool:
+    name = dotted_name(node)
+    if name in _INT_DTYPES:
+        return True
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in _INT_DTYPE_STRINGS
+    )
+
+
+@register
+class DtypeDroppingDivision(Rule):
+    """NP001: true division feeding an integer cast in index math."""
+
+    rule_id = "NP001"
+    severity = Severity.ERROR
+    summary = (
+        "int(a / b) or (a / b).astype(int64): float64 rounds past 2**53; "
+        "use floor division //"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # int(a / b)
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "int"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.BinOp)
+                and isinstance(node.args[0].op, ast.Div)
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "int(a / b) routes index math through float64 "
+                    "(exact only below 2**53); use a // b",
+                )
+                continue
+            # (a / b).astype(<int dtype>)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and isinstance(node.func.value, ast.BinOp)
+                and isinstance(node.func.value.op, ast.Div)
+                and node.args
+                and _is_int_dtype_arg(node.args[0])
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "(a / b).astype(int) drops int64 through float64; "
+                    "use floor division // to stay integral",
+                )

@@ -1,0 +1,246 @@
+"""Instrumentation contracts: OBS001 (naming) and OBS002 (guards).
+
+The observability layer only pays off if counter names are stable and
+the disabled path stays branch-cheap.  OBS001 enforces the naming
+scheme (lowercase dotted ``family.metric`` names) and -- across the
+whole tree -- that one counter name always carries the same label keys,
+because ``index.lookups`` and ``index.lookups{index=...}`` are
+*different* manifest keys and the drift gate would silently compare
+neither.  OBS002 keeps per-iteration instrumentation behind an
+``obs.enabled()`` guard so untraced sweeps stay bit-identical in time
+as well as in counters.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..engine import FileContext, Rule, dotted_name, register, walk_with_ancestors
+from ..findings import Finding, Severity
+
+#: ``family.metric`` (two or more lowercase dotted segments).
+_DOTTED_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+#: Single lowercase segment (phase names, add_perf_counters prefixes).
+_SEGMENT_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+#: Characters a constant fragment of an f-string name may contain.
+_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+#: ``obs.<member>`` recording calls whose first argument is a metric name.
+_DOTTED_NAME_CALLS = frozenset({"add", "observe", "gauge", "span"})
+_SEGMENT_NAME_CALLS = frozenset({"phase", "add_perf_counters"})
+#: Calls whose keyword arguments become metric labels.
+_LABELED_CALLS = frozenset({"add", "observe", "gauge"})
+
+
+def _obs_member(call: ast.Call) -> Optional[str]:
+    """``add`` for an ``obs.add(...)`` call, else ``None``."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "obs"
+    ):
+        return func.attr
+    return None
+
+
+def _constant_name(call: ast.Call) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+@register
+class ObsNaming(Rule):
+    """OBS001: metric-name scheme and cross-file label consistency."""
+
+    rule_id = "OBS001"
+    severity = Severity.ERROR
+    summary = (
+        "obs counter/span/phase name off the lowercase dotted scheme, or "
+        "one counter used with different label keys across call sites"
+    )
+
+    def __init__(self) -> None:
+        #: name -> list of (ctx-independent site info, label keys).
+        self._sites: Dict[str, List[Tuple[str, int, int, str, frozenset]]] = {}
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            member = _obs_member(node)
+            if member is None:
+                continue
+            if member in _DOTTED_NAME_CALLS:
+                yield from self._check_name(ctx, node, member, _DOTTED_NAME_RE)
+            elif member in _SEGMENT_NAME_CALLS:
+                yield from self._check_name(ctx, node, member, _SEGMENT_RE)
+            if member in _LABELED_CALLS:
+                name = _constant_name(node)
+                if name is not None:
+                    labels = frozenset(
+                        keyword.arg
+                        for keyword in node.keywords
+                        if keyword.arg is not None and keyword.arg != "value"
+                    )
+                    self._sites.setdefault(name, []).append(
+                        (
+                            ctx.display_path,
+                            node.lineno,
+                            node.col_offset,
+                            ctx.source_line(node.lineno),
+                            labels,
+                        )
+                    )
+
+    def _check_name(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        member: str,
+        pattern: "re.Pattern[str]",
+    ) -> Iterable[Finding]:
+        if not node.args:
+            return
+        name_node = node.args[0]
+        if isinstance(name_node, ast.Constant):
+            if isinstance(name_node.value, str) and not pattern.match(
+                name_node.value
+            ):
+                yield ctx.finding(
+                    self,
+                    name_node,
+                    f"obs.{member} name {name_node.value!r} does not match "
+                    "the registered scheme (lowercase dotted segments, "
+                    "e.g. 'index.lookups')",
+                )
+        elif isinstance(name_node, ast.JoinedStr):
+            for piece in name_node.values:
+                if isinstance(piece, ast.Constant) and isinstance(
+                    piece.value, str
+                ):
+                    if not _FRAGMENT_RE.match(piece.value):
+                        yield ctx.finding(
+                            self,
+                            name_node,
+                            f"obs.{member} f-string name fragment "
+                            f"{piece.value!r} contains characters outside "
+                            "the lowercase dotted scheme",
+                        )
+
+    def finish_run(self) -> Iterable[Finding]:
+        for name, sites in sorted(self._sites.items()):
+            label_sets = {labels for _, _, _, _, labels in sites}
+            if len(label_sets) <= 1:
+                continue
+            shapes = " vs ".join(
+                "{" + ", ".join(sorted(labels)) + "}"
+                for labels in sorted(label_sets, key=sorted)
+            )
+            for path, line, col, source_line, _ in sites:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"counter {name!r} is recorded with conflicting "
+                        f"label keys across call sites ({shapes}); the "
+                        "manifest treats each shape as a separate key"
+                    ),
+                    source_line=source_line,
+                )
+
+
+def _test_calls_enabled(test: ast.AST) -> bool:
+    """Whether an ``if`` test subtree calls ``obs.enabled()``."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call) and dotted_name(node.func) in (
+            "obs.enabled",
+            "enabled",
+        ):
+            return True
+    return False
+
+
+def _has_early_return_guard(func: ast.AST) -> bool:
+    """``def f(): if not obs.enabled(): return`` as the first statement."""
+    body = getattr(func, "body", [])
+    for statement in body:
+        # Skip the docstring.
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue
+        return (
+            isinstance(statement, ast.If)
+            and isinstance(statement.test, ast.UnaryOp)
+            and isinstance(statement.test.op, ast.Not)
+            and _test_calls_enabled(statement.test)
+            and bool(statement.body)
+            and isinstance(statement.body[0], ast.Return)
+        )
+    return False
+
+
+@register
+class HotPathGuard(Rule):
+    """OBS002: per-iteration obs calls need an ``obs.enabled()`` guard.
+
+    ``obs.add`` itself checks the enable flag, but the *call* still
+    builds argument tuples (often ``float(...)`` conversions and
+    f-string names) on every loop iteration.  Inside a loop that cost
+    lands on the untraced hot path, so the call must sit under an
+    ``if obs.enabled():`` block (anywhere in the enclosing function's
+    ancestor chain) or behind a first-statement early-return guard.
+    """
+
+    rule_id = "OBS002"
+    severity = Severity.ERROR
+    summary = (
+        "obs recording call inside a loop without an obs.enabled() guard"
+    )
+
+    #: The obs package itself implements the fast path.
+    exempt_modules = ("repro/obs/",)
+
+    _RECORDING = frozenset({"add", "observe", "gauge", "add_perf_counters"})
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if any(part in ctx.display_path for part in self.exempt_modules):
+            return
+        for node, ancestors in walk_with_ancestors(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            member = _obs_member(node)
+            if member not in self._RECORDING:
+                continue
+            in_loop = False
+            guarded = False
+            # Walk ancestors innermost-first, stopping at the enclosing
+            # function: a guard outside the function cannot be seen by
+            # other callers of it.
+            for ancestor in reversed(ancestors):
+                if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    guarded = guarded or _has_early_return_guard(ancestor)
+                    break
+                if isinstance(ancestor, (ast.For, ast.AsyncFor, ast.While)):
+                    in_loop = True
+                if isinstance(ancestor, ast.If) and _test_calls_enabled(
+                    ancestor.test
+                ):
+                    guarded = True
+            if in_loop and not guarded:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"obs.{member} runs every loop iteration without an "
+                    "obs.enabled() guard; hoist an 'if obs.enabled():' "
+                    "around the loop (or the call)",
+                )

@@ -1,0 +1,98 @@
+"""UNIT001: raw byte arithmetic outside :mod:`repro.units`.
+
+The paper mixes binary sizes (GiB relations, MiB windows) with decimal
+bandwidths (GB/s), which is exactly the environment where a bare
+``* 1024`` or ``2**30`` quietly picks the wrong convention.  All byte
+constants live in :mod:`repro.units` (``KIB``/``MIB``/``GIB``/``TIB``,
+``KB``/``MB``/``GB``); arithmetic elsewhere must name them.
+
+Flagged shapes (literal operands only -- ``1 << self.bits`` is fine):
+
+* ``x * 1024`` / ``x / 1048576`` and friends (any power-of-1024 literal
+  as a multiply/divide operand);
+* ``1 << 10|20|30|40`` with both sides literal;
+* ``2 ** 30`` / ``2 ** 40`` (the GiB/TiB powers; ``2**10`` and
+  ``2**20`` stay legal because they appear as element *counts*, e.g.
+  ``interleave_width = 2**20`` threads).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule, register
+from ..findings import Finding, Severity
+
+#: Powers of 1024 that, as bare literals, mean someone hand-rolled a
+#: byte unit (KIB..TIB values).
+_BYTE_LITERALS = frozenset({1024, 1024**2, 1024**3, 1024**4})
+
+#: Shift distances that produce those values from 1.
+_BYTE_SHIFTS = frozenset({10, 20, 30, 40})
+
+#: Exponents of two that are (nearly) always byte sizes in this codebase.
+_BYTE_POWERS = frozenset({30, 40})
+
+_SUGGESTION = {
+    1024: "KIB",
+    1024**2: "MIB",
+    1024**3: "GIB",
+    1024**4: "TIB",
+}
+
+
+def _int_literal(node: ast.AST) -> object:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+@register
+class RawByteArithmetic(Rule):
+    """UNIT001: magic byte-unit literals bypassing ``repro.units``."""
+
+    rule_id = "UNIT001"
+    severity = Severity.ERROR
+    summary = (
+        "raw byte arithmetic (* 1024, 1 << 30, 2**30) outside "
+        "repro/units.py -- use KIB/MIB/GIB/TIB"
+    )
+
+    #: The one module allowed to spell the constants out.
+    allowed_modules = ("repro/units.py",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.in_module(*self.allowed_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            left = _int_literal(node.left)
+            right = _int_literal(node.right)
+            if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)):
+                for value in (left, right):
+                    if isinstance(value, int) and value in _BYTE_LITERALS:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"literal {value} in byte arithmetic; use "
+                            f"repro.units.{_SUGGESTION[value]}",
+                        )
+                        break
+            elif isinstance(node.op, ast.LShift):
+                if left == 1 and isinstance(right, int) and right in _BYTE_SHIFTS:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"1 << {right} hand-rolls a byte unit; use "
+                        f"repro.units.{_SUGGESTION[1 << right]}",
+                    )
+            elif isinstance(node.op, ast.Pow):
+                if left == 2 and isinstance(right, int) and right in _BYTE_POWERS:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"2**{right} hand-rolls a byte unit; use "
+                        f"repro.units.{_SUGGESTION[2 ** right]}",
+                    )

@@ -21,7 +21,7 @@ the concrete type.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -227,8 +227,11 @@ def _counted(
     traced-off pull loop runs the bare generators.
     """
     for batch in stream:
-        obs.add("pipeline.batches", operator=operator_name)
-        obs.add("pipeline.tuples", float(len(batch)), operator=operator_name)
+        if obs.enabled():
+            obs.add("pipeline.batches", operator=operator_name)
+            obs.add(
+                "pipeline.tuples", float(len(batch)), operator=operator_name
+            )
         yield batch
 
 

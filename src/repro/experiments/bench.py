@@ -14,12 +14,12 @@ workload.
 
 from __future__ import annotations
 
-import json
 import platform
 import time
 from typing import Optional, Sequence
 
 from ..config import SimulationConfig
+from ..ioutil import atomic_write_json
 from ..perf.alloc import tune_allocator
 from ..resilience.retry import active_policy
 from . import cache, fig3, fig5
@@ -132,9 +132,7 @@ def run_bench(
 
 
 def write_bench(payload: dict, path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
+    atomic_write_json(payload=payload, path=path, sort_keys=False)
 
 
 def main(

@@ -15,7 +15,7 @@ reports paper-vs-measured pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from ..config import DEFAULT_S_TUPLES
 from ..hardware.spec import SystemSpec, V100_NVLINK2
@@ -24,7 +24,7 @@ from ..join.hash_join import HashJoin
 from ..join.inlj import IndexNestedLoopJoin
 from ..join.partitioned import PartitionedINLJ
 from ..join.window import WindowedINLJ
-from ..units import MIB
+from ..units import GIB, MIB
 from .common import (
     NAIVE_SIM,
     ORDERED_SIM,
@@ -75,8 +75,8 @@ def transfer_volume_claim(
         paper="up to ~12x less transfer volume than a table scan",
         measured=(
             f"{reduction:.1f}x at {r_gib:g} GiB "
-            f"({inlj_bytes / 2**30:.1f} GiB indexed vs "
-            f"{scan_bytes / 2**30:.1f} GiB scanned)"
+            f"({inlj_bytes / GIB:.1f} GiB indexed vs "
+            f"{scan_bytes / GIB:.1f} GiB scanned)"
         ),
         holds=reduction >= 4.0,
     )

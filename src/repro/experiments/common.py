@@ -21,7 +21,7 @@ from ..config import (
 from ..data.column import Column
 from ..data.generator import WorkloadConfig
 from ..errors import CapacityError, ConfigurationError, SweepExecutionError
-from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..hardware.spec import SystemSpec
 from ..join.base import QueryEnvironment
 from ..partition.bits import choose_partition_bits
 from ..partition.radix import RadixPartitioner

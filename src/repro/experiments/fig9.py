@@ -10,7 +10,7 @@ accesses better than PCIe.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..config import DEFAULT_S_TUPLES
 from ..hardware.spec import A100_PCIE4, SystemSpec, V100_NVLINK2
@@ -18,7 +18,7 @@ from ..indexes import HarmoniaIndex, RadixSplineIndex
 from ..join.hash_join import HashJoin
 from ..join.window import WindowedINLJ
 from ..perf.report import Series
-from ..units import GIB, MIB
+from ..units import MIB
 from .common import (
     ExperimentResult,
     ORDERED_SIM,

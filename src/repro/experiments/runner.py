@@ -35,7 +35,7 @@ from ..resilience.report import ExperimentFailure, RunReport
 from ..resilience import retry as retry_mod
 from ..resilience.retry import RetryPolicy
 from . import cache, claims, common, fig3, fig5, fig6, fig7, fig8, fig9, table1
-from .common import DEFAULT_R_SIZES_GIB, NAIVE_SIM, ORDERED_SIM
+from .common import DEFAULT_R_SIZES_GIB, NAIVE_SIM
 
 #: Reduced sweeps for --quick mode.
 QUICK_R_SIZES = (1.0, 16.0, 32.0, 48.0, 111.0)

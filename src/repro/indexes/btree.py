@@ -28,7 +28,6 @@ that tree indexes remain the choice when updates are required.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
 
 import numpy as np

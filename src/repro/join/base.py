@@ -18,7 +18,6 @@ import numpy as np
 from ..config import DEFAULT_CONFIG, SimulationConfig
 from ..data.column import Column
 from ..data.generator import WorkloadConfig, make_build_relation
-from ..data.relation import Relation
 from ..errors import WorkloadError
 from ..gpu.executor import MachineModel
 from ..hardware.memory import MemorySpace

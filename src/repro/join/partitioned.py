@@ -15,7 +15,6 @@ from ..hardware.memory import MemorySpace
 from ..indexes.base import Index
 from ..partition.radix import RadixPartitioner
 from ..perf.model import QueryCost
-from ..units import KEY_BYTES
 from .base import JoinResult, QueryEnvironment
 
 #: GPU-resident tuple during partitioning: 8 B key + 8 B source index.

@@ -16,9 +16,9 @@ simulated, cache hits, TLB misses, partition fanouts) must not.
 from __future__ import annotations
 
 import json
-import os
 from typing import List, Mapping, Optional
 
+from ..ioutil import atomic_write_json
 from .metrics import Drift, MetricsRegistry
 from .tracing import Tracer
 
@@ -92,12 +92,9 @@ def write_manifest(
 ) -> str:
     """Build and write a manifest; returns the path written."""
     manifest = build_manifest(registry, tracer, run_info=run_info, phase=phase)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic: the CI drift gate reads this file; it must never see a
+    # torn manifest from a run killed mid-write.
+    atomic_write_json(path, manifest)
     return path
 
 

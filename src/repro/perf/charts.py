@@ -13,7 +13,7 @@ dependency:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..errors import ConfigurationError
 from .report import Series

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import List
 
 from ..errors import ConfigurationError
+from ..ioutil import atomic_write_text
 
 
 def result_to_rows(result) -> List[dict]:
@@ -69,8 +70,8 @@ def write_result(result, output_dir) -> List[Path]:
     directory.mkdir(parents=True, exist_ok=True)
     csv_path = directory / f"{result.name}.csv"
     json_path = directory / f"{result.name}.json"
-    csv_path.write_text(result_to_csv(result), encoding="utf-8")
-    json_path.write_text(result_to_json(result), encoding="utf-8")
+    atomic_write_text(str(csv_path), result_to_csv(result))
+    atomic_write_text(str(json_path), result_to_json(result))
     return [csv_path, json_path]
 
 

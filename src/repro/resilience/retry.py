@@ -161,7 +161,8 @@ def with_retry(
     last_error: Optional[BaseException] = None
     for attempt in range(1, policy.max_attempts + 1):
         if attempt > 1:
-            obs.add("resilience.retries")
+            if obs.enabled():
+                obs.add("resilience.retries")
             with obs.span(
                 "retry.backoff", attempt=attempt - 1, label=label or "call"
             ):

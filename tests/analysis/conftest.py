@@ -1,0 +1,23 @@
+"""Shared helpers for the ``repro lint`` test suite."""
+
+import pytest
+
+from repro.analysis.engine import lint_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint a source snippet under one rule; returns the LintRun.
+
+    ``name`` controls the path the engine sees, so tests can place a
+    snippet "inside" an allowlisted module (e.g. ``repro/units.py``).
+    """
+
+    def run(source, select=None, name="snippet.py", baseline=None):
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        selected = [select] if isinstance(select, str) else select
+        return lint_paths([str(target)], select=selected, baseline=baseline)
+
+    return run

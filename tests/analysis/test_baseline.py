@@ -1,0 +1,100 @@
+"""Baseline round trips: document -> load -> absorb, multiset semantics."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import SCHEMA, Baseline
+from repro.analysis.engine import display_path, lint_paths
+from repro.analysis.findings import Finding, Severity
+
+
+def _finding(rule="DET002", path="src/mod.py", code="t = time.time()", line=3):
+    return Finding(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=4,
+        message="msg",
+        source_line=code,
+    )
+
+
+def test_document_load_absorb_round_trip(tmp_path):
+    findings = [_finding(), _finding(rule="UNIT001", code="x = 2 ** 30")]
+    document = Baseline.document(findings)
+    assert document["schema"] == SCHEMA
+    # Entries start with an empty todo the committer must fill in.
+    assert all(entry["todo"] == "" for entry in document["findings"])
+
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps(document), encoding="utf-8")
+    baseline = Baseline.load(str(target))
+    assert len(baseline) == 2
+    for finding in findings:
+        assert baseline.absorb(finding)
+
+
+def test_absorb_matches_by_code_not_line_number():
+    baseline = Baseline(
+        [{"rule": "DET002", "path": "src/mod.py", "code": "t = time.time()"}]
+    )
+    # Same rule/path/code on a different line still matches: edits above
+    # a grandfathered line must not invalidate the baseline.
+    assert baseline.absorb(_finding(line=99))
+
+
+def test_absorb_is_a_multiset():
+    baseline = Baseline(
+        [{"rule": "DET002", "path": "src/mod.py", "code": "t = time.time()"}]
+    )
+    assert baseline.absorb(_finding())
+    # The single budget slot is spent: a second identical finding is new.
+    assert not baseline.absorb(_finding())
+
+
+def test_absorb_rejects_mismatches():
+    baseline = Baseline(
+        [{"rule": "DET002", "path": "src/mod.py", "code": "t = time.time()"}]
+    )
+    assert not baseline.absorb(_finding(rule="DET001"))
+    assert not baseline.absorb(_finding(path="src/other.py"))
+    assert not baseline.absorb(_finding(code="other = time.time()"))
+
+
+def test_unjustified_lists_entries_without_todo():
+    baseline = Baseline(
+        [
+            {"rule": "A", "path": "p", "code": "c", "todo": "issue #7"},
+            {"rule": "B", "path": "p", "code": "c", "todo": "   "},
+            {"rule": "C", "path": "p", "code": "c"},
+        ]
+    )
+    assert [entry["rule"] for entry in baseline.unjustified()] == ["B", "C"]
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    target = tmp_path / "other.json"
+    target.write_text(json.dumps({"schema": "metrics/1"}), encoding="utf-8")
+    with pytest.raises(ValueError, match="not a"):
+        Baseline.load(str(target))
+
+
+def test_baselined_findings_leave_the_gate(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text(
+        "import time\nstart = time.perf_counter()\n", encoding="utf-8"
+    )
+    baseline = Baseline(
+        [
+            {
+                "rule": "DET002",
+                "path": display_path(str(target)),
+                "code": "start = time.perf_counter()",
+            }
+        ]
+    )
+    run = lint_paths([str(target)], select=["DET002"], baseline=baseline)
+    assert run.findings == []
+    assert [f.rule_id for f in run.baselined] == ["DET002"]

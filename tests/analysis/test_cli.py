@@ -1,0 +1,163 @@
+"""CLI contract: exit codes, JSON schema, baseline workflow."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import OUTPUT_SCHEMA, main
+
+#: One seeded violation per rule class; each must fail the gate.
+VIOLATIONS = {
+    "DET001": "import numpy as np\nx = np.random.rand(4)\n",
+    "DET002": "import time\nstart = time.perf_counter()\n",
+    "DET003": "for item in {3, 1, 2}:\n    print(item)\n",
+    "NP001": "def bucket(key, width):\n    return int(key / width)\n",
+    "OBS001": 'obs.add("BadName", 1.0)\n',
+    "OBS002": textwrap.dedent(
+        """
+        def drain(batches):
+            for batch in batches:
+                obs.add("pipeline.batches", 1.0)
+        """
+    ),
+    "RES001": textwrap.dedent(
+        """
+        def export(path, text):
+            with open(path, "w") as handle:
+                handle.write(text)
+        """
+    ),
+    "UNIT001": "window = 32 * 1024\n",
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+def test_each_rule_class_fails_the_gate(tmp_path, capsys, rule_id):
+    target = tmp_path / "violation.py"
+    target.write_text(VIOLATIONS[rule_id], encoding="utf-8")
+    code = main([str(target), "--fail-on-findings", "--no-baseline"])
+    assert code == 1
+    assert rule_id in capsys.readouterr().out
+
+
+def test_findings_exit_zero_without_the_gate_flag(tmp_path, capsys):
+    target = tmp_path / "violation.py"
+    target.write_text(VIOLATIONS["UNIT001"], encoding="utf-8")
+    assert main([str(target), "--no-baseline"]) == 0
+    assert "UNIT001" in capsys.readouterr().out
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    code = main([str(target), "--fail-on-findings", "--no-baseline"])
+    assert code == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_unparsable_file_always_exits_two(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def nope(:\n", encoding="utf-8")
+    # Even without --fail-on-findings: a lint run that could not see the
+    # code must never read as green.
+    assert main([str(target), "--no-baseline"]) == 2
+    assert "syntax error" in capsys.readouterr().out
+
+
+def test_json_output_schema(tmp_path, capsys):
+    target = tmp_path / "violation.py"
+    target.write_text(VIOLATIONS["DET002"], encoding="utf-8")
+    code = main([str(target), "--format", "json", "--no-baseline"])
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["schema"] == OUTPUT_SCHEMA
+    assert document["files_checked"] == 1
+    assert [f["rule"] for f in document["findings"]] == ["DET002"]
+    finding = document["findings"][0]
+    assert finding["severity"] == "error"
+    assert finding["line"] == 2
+    assert finding["source_line"] == "start = time.perf_counter()"
+    # The artifact is self-describing: the rule table rides along.
+    assert {row["rule"] for row in document["rules"]} >= {"DET001", "RES001"}
+
+
+def test_select_limits_the_run(tmp_path, capsys):
+    target = tmp_path / "violation.py"
+    target.write_text(
+        VIOLATIONS["DET002"] + VIOLATIONS["UNIT001"], encoding="utf-8"
+    )
+    code = main(
+        [str(target), "--select", "UNIT001", "--format", "json", "--no-baseline"]
+    )
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in document["findings"]] == ["UNIT001"]
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in VIOLATIONS:
+        assert rule_id in out
+
+
+def test_write_then_apply_baseline(tmp_path, capsys):
+    target = tmp_path / "legacy.py"
+    target.write_text(VIOLATIONS["UNIT001"], encoding="utf-8")
+    baseline_path = tmp_path / "baseline.json"
+
+    assert main([str(target), "--write-baseline", str(baseline_path)]) == 0
+    document = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert document["schema"] == "repro-lint-baseline/1"
+    assert len(document["findings"]) == 1
+
+    # With the baseline applied, the same tree passes the hard gate...
+    code = main(
+        [
+            str(target),
+            "--baseline",
+            str(baseline_path),
+            "--fail-on-findings",
+        ]
+    )
+    assert code == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # ...but a *new* violation still fails it.
+    target.write_text(
+        VIOLATIONS["UNIT001"] + "cap = 1 << 30\n", encoding="utf-8"
+    )
+    code = main(
+        [
+            str(target),
+            "--baseline",
+            str(baseline_path),
+            "--fail-on-findings",
+        ]
+    )
+    assert code == 1
+
+
+def test_default_baseline_is_picked_up_from_cwd(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "legacy.py"
+    target.write_text(VIOLATIONS["UNIT001"], encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    assert main(["legacy.py", "--write-baseline", "lint_baseline.json"]) == 0
+    capsys.readouterr()
+    assert main(["legacy.py", "--fail-on-findings"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # --no-baseline overrides the automatic pickup.
+    assert main(["legacy.py", "--fail-on-findings", "--no-baseline"]) == 1
+
+
+def test_repro_cli_dispatches_lint(tmp_path, capsys):
+    from repro.__main__ import main as repro_main
+
+    target = tmp_path / "violation.py"
+    target.write_text(VIOLATIONS["DET001"], encoding="utf-8")
+    code = repro_main(
+        ["lint", str(target), "--fail-on-findings", "--no-baseline"]
+    )
+    assert code == 1
+    assert "DET001" in capsys.readouterr().out

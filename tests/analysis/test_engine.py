@@ -1,0 +1,128 @@
+"""Engine behavior: registry, suppressions, error handling."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import (
+    all_rules,
+    lint_paths,
+    parse_suppressions,
+    rule_table,
+)
+
+EXPECTED_RULES = [
+    "DET001",
+    "DET002",
+    "DET003",
+    "NP001",
+    "OBS001",
+    "OBS002",
+    "RES001",
+    "UNIT001",
+]
+
+
+def test_registry_ships_the_documented_rules():
+    assert [rule.rule_id for rule in all_rules()] == EXPECTED_RULES
+    assert [row[0] for row in rule_table()] == EXPECTED_RULES
+
+
+def test_select_unknown_rule_raises():
+    with pytest.raises(ValueError, match="NOPE999"):
+        all_rules(["NOPE999"])
+
+
+def test_rule_instances_are_fresh_per_run():
+    first = {id(rule) for rule in all_rules(["OBS001"])}
+    second = {id(rule) for rule in all_rules(["OBS001"])}
+    assert first.isdisjoint(second)
+
+
+class TestSuppressions:
+    def test_bare_noqa_suppresses_any_rule(self, lint_snippet):
+        run = lint_snippet(
+            "import time\nstart = time.perf_counter()  # repro: noqa\n",
+            select="DET002",
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["DET002"]
+
+    def test_rule_scoped_noqa(self, lint_snippet):
+        run = lint_snippet(
+            "import time\nstart = time.perf_counter()  # repro: noqa[DET002]\n",
+            select="DET002",
+        )
+        assert run.findings == []
+        assert len(run.suppressed) == 1
+
+    def test_wrong_rule_id_does_not_suppress(self, lint_snippet):
+        run = lint_snippet(
+            "import time\nstart = time.perf_counter()  # repro: noqa[UNIT001]\n",
+            select="DET002",
+        )
+        assert [f.rule_id for f in run.findings] == ["DET002"]
+        assert run.suppressed == []
+
+    def test_marker_inside_string_literal_is_inert(self, lint_snippet):
+        # The engine reads comments from tokenize, so the marker inside
+        # a string must not silence the finding on that line.
+        run = lint_snippet(
+            textwrap.dedent(
+                """
+                import time
+
+                start = time.perf_counter(); note = "# repro: noqa"
+                """
+            ),
+            select="DET002",
+        )
+        assert [f.rule_id for f in run.findings] == ["DET002"]
+
+    def test_multi_rule_noqa(self):
+        suppressions = parse_suppressions(
+            "x = 1  # repro: noqa[DET001, OBS002]\n"
+        )
+        assert suppressions == {1: {"DET001", "OBS002"}}
+
+    def test_suppression_applies_to_cross_file_findings(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            'obs.add("index.lookups", 1.0, index="rs")\n', encoding="utf-8"
+        )
+        (tmp_path / "b.py").write_text(
+            'obs.add("index.lookups", 1.0)  # repro: noqa[OBS001]\n',
+            encoding="utf-8",
+        )
+        run = lint_paths([str(tmp_path)], select=["OBS001"])
+        # a.py still reports the conflict; b.py's site is suppressed.
+        assert [f.path.rsplit("/", 1)[-1] for f in run.findings] == ["a.py"]
+        assert [f.path.rsplit("/", 1)[-1] for f in run.suppressed] == ["b.py"]
+
+
+class TestErrors:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def nope(:\n", encoding="utf-8")
+        run = lint_paths([str(bad)])
+        assert run.files_checked == 0
+        assert len(run.errors) == 1
+        assert "syntax error" in run.errors[0][1]
+        assert not run.clean
+
+    def test_non_python_files_are_skipped(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("* 1024\n", encoding="utf-8")
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        run = lint_paths([str(tmp_path)])
+        assert run.files_checked == 1
+        assert run.clean
+
+    def test_pycache_and_dotdirs_are_pruned(self, tmp_path):
+        hidden = tmp_path / ".venv"
+        hidden.mkdir()
+        (hidden / "bad.py").write_text("import time\ntime.time()\n", encoding="utf-8")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "bad.py").write_text("import time\ntime.time()\n", encoding="utf-8")
+        run = lint_paths([str(tmp_path)], select=["DET002"])
+        assert run.files_checked == 0
+        assert run.clean

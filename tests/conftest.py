@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
-from repro.data.column import MaterializedColumn, VirtualSortedColumn
+from repro.data.column import VirtualSortedColumn
 from repro.data.generator import WorkloadConfig, make_workload
 from repro.data.relation import Relation
 from repro.hardware.spec import V100_NVLINK2

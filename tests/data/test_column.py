@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data.column import (
-    KEY_DTYPE,
     MaterializedColumn,
     VirtualSortedColumn,
     make_column,

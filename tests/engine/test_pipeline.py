@@ -8,7 +8,6 @@ from repro.engine.pipeline import (
     FilterOperator,
     IndexProbeOperator,
     MaterializeOperator,
-    PartitionOperator,
     Pipeline,
     ScanOperator,
     TupleBatch,

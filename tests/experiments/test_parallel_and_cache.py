@@ -11,7 +11,6 @@ The contracts under test:
   environments.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import SimulationConfig

@@ -5,7 +5,6 @@ import pytest
 
 from repro.config import DEFAULT_BTREE_NODE_BYTES
 from repro.data.column import MaterializedColumn, VirtualSortedColumn
-from repro.data.generator import WorkloadConfig, make_workload
 from repro.data.relation import Relation
 from repro.errors import CapacityError, ConfigurationError, SimulationError
 from repro.hardware.memory import MemorySpace, SystemMemory

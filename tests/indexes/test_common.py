@@ -11,18 +11,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data.column import MaterializedColumn, VirtualSortedColumn
-from repro.data.generator import WorkloadConfig, make_workload
 from repro.data.relation import Relation
 from repro.errors import SimulationError
 from repro.hardware.memory import MemorySpace, SystemMemory
 from repro.hardware.spec import V100_NVLINK2
-from repro.indexes import (
-    ALL_INDEX_TYPES,
-    BinarySearchIndex,
-    BPlusTreeIndex,
-    HarmoniaIndex,
-    RadixSplineIndex,
-)
+from repro.indexes import ALL_INDEX_TYPES
 
 INDEX_IDS = [cls.__name__ for cls in ALL_INDEX_TYPES]
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.data.column import MaterializedColumn, VirtualSortedColumn
+from repro.data.column import VirtualSortedColumn
 from repro.data.relation import Relation
 from repro.errors import SimulationError
 from repro.hardware.memory import MemorySpace, SystemMemory

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data.column import MaterializedColumn, VirtualSortedColumn
-from repro.data.relation import Relation
 from repro.errors import ConfigurationError
 from repro.indexes.radix_spline import (
     RadixSplineIndex,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SimulationConfig
 from repro.data.generator import WorkloadConfig
 from repro.errors import CapacityError, WorkloadError
 from repro.hardware.memory import MemorySpace

@@ -6,7 +6,6 @@ enough for per-test runs.  The paper-shape assertions (cliff, recovery,
 ranking) live in tests/test_paper_shapes.py.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import SimulationConfig

@@ -63,7 +63,6 @@ class TestEstimate:
     def test_small_r_partitions_in_gpu(self):
         env = self.make_env(2.0)
         make_join(env.relation, partitions=2048).estimate(env)
-        labels = [a.label for a in env.machine.memory.allocations]
         partitioned_r = next(
             a for a in env.machine.memory.allocations
             if a.label == "partitioned R"

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.config import SimulationConfig
 from repro.hardware.spec import V100_NVLINK2

@@ -121,7 +121,6 @@ class TestFiring:
 
 class TestPipelineBatchSite:
     def test_batch_fault_fires_mid_stream(self):
-        import numpy as np
 
         from repro.engine.pipeline import (
             IndexProbeOperator,

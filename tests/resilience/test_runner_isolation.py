@@ -5,7 +5,6 @@ import io
 import pytest
 
 from repro.__main__ import main as cli_main
-from repro.experiments import common
 from repro.experiments.runner import main as runner_main
 from repro.experiments.runner import run_report
 from repro.resilience import faults

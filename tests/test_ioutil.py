@@ -1,0 +1,61 @@
+"""Atomic write helpers: all-or-nothing semantics and byte stability."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+
+def test_write_text_creates_parents_and_content(tmp_path):
+    target = tmp_path / "deep" / "nested" / "out.txt"
+    returned = atomic_write_text(str(target), "payload")
+    assert returned == str(target)
+    assert target.read_text(encoding="utf-8") == "payload"
+
+
+def test_write_text_replaces_existing(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(str(target), "old")
+    atomic_write_text(str(target), "new")
+    assert target.read_text(encoding="utf-8") == "new"
+
+
+def test_no_temp_debris_after_success(tmp_path):
+    target = tmp_path / "out.txt"
+    atomic_write_text(str(target), "payload")
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["out.txt"]
+
+
+def test_failed_replace_leaves_old_content_and_no_debris(tmp_path, monkeypatch):
+    target = tmp_path / "out.txt"
+    atomic_write_text(str(target), "old")
+
+    def explode(src, dst):
+        raise OSError("disk gone")
+
+    monkeypatch.setattr(os, "replace", explode)
+    with pytest.raises(OSError, match="disk gone"):
+        atomic_write_text(str(target), "new")
+    # Readers still see the previous version; no *.tmp files remain.
+    assert target.read_text(encoding="utf-8") == "old"
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["out.txt"]
+
+
+def test_write_json_round_trip_sorted_with_trailing_newline(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_json(str(target), {"b": 2, "a": 1})
+    text = target.read_text(encoding="utf-8")
+    assert text.endswith("\n")
+    # sort_keys default keeps committed artifacts byte-stable.
+    assert text.index('"a"') < text.index('"b"')
+    assert json.loads(text) == {"a": 1, "b": 2}
+
+
+def test_write_json_unserializable_payload_leaves_target_untouched(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_json(str(target), {"n": 1})
+    with pytest.raises(TypeError):
+        atomic_write_json(str(target), {"bad": object()})
+    assert json.loads(target.read_text(encoding="utf-8")) == {"n": 1}

@@ -6,11 +6,9 @@ assertions that make the reproduction a reproduction; if one fails, a
 model change broke a paper result.
 """
 
-import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
-from repro.data.generator import WorkloadConfig
 from repro.experiments.common import (
     default_partitioner,
     gib_to_tuples,
