@@ -85,6 +85,15 @@ from .join import (
 )
 from .partition import PartitionBits, RadixPartitioner, choose_partition_bits
 from .perf import CostModel, QueryCost, Series
+from .serve import (
+    ProbeRequest,
+    ServeReport,
+    ShardedIndexService,
+    ShardExecutor,
+    ShardPlan,
+    fallback_shard,
+    range_shard,
+)
 
 __version__ = "1.0.0"
 
@@ -139,4 +148,11 @@ __all__ = [
     "CostModel",
     "QueryCost",
     "Series",
+    "ProbeRequest",
+    "ServeReport",
+    "ShardedIndexService",
+    "ShardExecutor",
+    "ShardPlan",
+    "fallback_shard",
+    "range_shard",
 ]

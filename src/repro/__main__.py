@@ -6,6 +6,9 @@ Commands:
   paper's tables and figures (same as ``python -m repro.experiments.runner``);
 * ``bench [--json FILE] [--compare-reference]`` -- time the standard
   sweeps and record wall clocks plus key counters to a JSON report;
+* ``serve-bench [--shards N...] [--window-kib K...] [--zipf T...]
+  [--index NAME] [--seed S] [--json FILE]`` -- sweep the sharded
+  serving layer (simulated clock; output is bit-identical per seed);
 * ``plan --r-gib N [options]`` -- run the access-path planner for one
   workload and print the EXPLAIN output;
 * ``obs report [manifests...]`` -- render or diff ``metrics.json``
@@ -105,6 +108,20 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from .serve.bench import main as serve_bench_main
+
+    serve_bench_main(
+        shards=tuple(args.shards),
+        window_kib=tuple(args.window_kib),
+        zipf_thetas=tuple(args.zipf),
+        index=args.index,
+        seed=args.seed,
+        json_path=args.json,
+    )
+    return 0
+
+
 def cmd_plan(args) -> int:
     spec = MACHINES[args.machine]
     workload = WorkloadConfig(
@@ -162,6 +179,35 @@ def main(argv=None) -> int:
         help="also time the OrderedDict reference models for a speedup figure",
     )
 
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="sweep the sharded serving layer and write a BENCH JSON",
+    )
+    serve_bench.add_argument(
+        "--shards", type=int, nargs="+", default=[1, 2, 4],
+        help="shard counts to sweep (simulated GPUs)",
+    )
+    serve_bench.add_argument(
+        "--window-kib", type=int, nargs="+", default=[4, 16],
+        help="tumbling-window sizes to sweep, in KiB of probe keys",
+    )
+    serve_bench.add_argument(
+        "--zipf", type=float, nargs="+", default=[0.0, 1.0],
+        help="probe-key Zipf exponents to sweep",
+    )
+    serve_bench.add_argument(
+        "--index", default="binary-search",
+        choices=["binary-search", "btree", "harmonia", "radix-spline"],
+        help="index structure built per shard",
+    )
+    serve_bench.add_argument(
+        "--seed", type=int, default=42, help="workload RNG seed"
+    )
+    serve_bench.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the sweep payload to FILE (e.g. BENCH_serve.json)",
+    )
+
     obs_parser = subparsers.add_parser(
         "obs", help="observability manifests: render and diff metrics.json"
     )
@@ -202,6 +248,8 @@ def main(argv=None) -> int:
             return cmd_experiments(args)
         if args.command == "bench":
             return cmd_bench(args)
+        if args.command == "serve-bench":
+            return cmd_serve_bench(args)
         if args.command == "lint":
             try:
                 return cmd_lint(args)

@@ -232,8 +232,14 @@ class BPlusTreeIndex(Index):
                 active=in_leaf,
             )
         found_keys = self._leaf_keys(leaves, np.where(in_leaf, slot_lo, 0))
-        found = in_leaf & (found_keys == keys)
         positions = leaves * self.leaf_entries + slot_lo
+        # A hit must land on a *data* slot: padding slots past the end of
+        # the column hold the MAX sentinel, and a probe key of MAX would
+        # otherwise "match" the padding and return an out-of-bounds
+        # position (found by the differential suite).
+        found = (
+            in_leaf & (positions < len(self.column)) & (found_keys == keys)
+        )
         return np.where(found, positions, np.int64(-1))
 
     def _traverse(

@@ -73,13 +73,16 @@ def greedy_spline_corridor(
         return keys.copy(), positions
     point_keys = [int(keys[0])]
     point_positions = [0]
-    anchor_key = float(keys[0])
+    # Key deltas are computed in exact integer arithmetic: float64 has a
+    # 53-bit mantissa, so ``float(key) - float(anchor)`` rounds to zero
+    # for adjacent keys above ~2^53 and would reject a valid column.
+    anchor_key = int(keys[0])
     anchor_pos = 0.0
     slope_low = -math.inf
     slope_high = math.inf
     for position in range(1, n):
-        key = float(keys[position])
-        dx = key - anchor_key
+        key = int(keys[position])
+        dx = float(key - anchor_key)
         if dx <= 0:
             raise ConfigurationError("keys must be strictly increasing")
         candidate_low = (position - max_error - anchor_pos) / dx
@@ -89,9 +92,9 @@ def greedy_spline_corridor(
             previous = position - 1
             point_keys.append(int(keys[previous]))
             point_positions.append(previous)
-            anchor_key = float(keys[previous])
+            anchor_key = int(keys[previous])
             anchor_pos = float(previous)
-            dx = key - anchor_key
+            dx = float(key - anchor_key)
             slope_low = (position - max_error - anchor_pos) / dx
             slope_high = (position + max_error - anchor_pos) / dx
         else:
@@ -124,12 +127,16 @@ def measure_spline_error(
         0,
         len(point_keys) - 2,
     )
-    key_low = point_keys[segment].astype(np.float64)
-    key_high = point_keys[segment + 1].astype(np.float64)
+    key_low = point_keys[segment]
     pos_low = point_positions[segment].astype(np.float64)
     pos_high = point_positions[segment + 1].astype(np.float64)
-    span = np.maximum(key_high - key_low, 1.0)
-    predicted = pos_low + (keys.astype(np.float64) - key_low) / span * (
+    # Subtract in uint64 (exact) before converting to float: converting
+    # the raw keys first loses the low bits of large keys and measures
+    # the error of a different prediction than lookups compute.
+    span = np.maximum(
+        (point_keys[segment + 1] - key_low).astype(np.float64), 1.0
+    )
+    predicted = pos_low + (keys - key_low).astype(np.float64) / span * (
         pos_high - pos_low
     )
     return int(np.ceil(np.abs(predicted - positions).max()))
@@ -274,10 +281,13 @@ class RadixSplineIndex(Index):
         num_slots = ((max_key - min_key) >> self._shift) + 2
         slots = np.arange(num_slots, dtype=np.int64)
         # table[p] = index of the first spline point with prefix >= p.
+        # Prefixes subtract min_key in uint64 before the shift: an int64
+        # cast of keys >= 2^63 wraps negative and scrambles the table.
         if self._uniform_interval is None:
             prefixes = (
-                (self.spline_keys.astype(np.int64) - min_key) >> self._shift
-            )
+                (self.spline_keys - np.uint64(min_key))
+                >> np.uint64(self._shift)
+            ).astype(np.int64)
             self.radix_table = np.searchsorted(
                 prefixes, slots, side="left"
             ).astype(np.int64)
@@ -288,11 +298,14 @@ class RadixSplineIndex(Index):
         # the searchsorted above without materializing all spline keys.
         coarse = 64
         coarse_prefixes = (
-            self._spline_key_at(
-                np.arange(0, num_points, coarse, dtype=np.int64)
-            ).astype(np.int64)
-            - min_key
-        ) >> self._shift
+            (
+                self._spline_key_at(
+                    np.arange(0, num_points, coarse, dtype=np.int64)
+                )
+                - np.uint64(min_key)
+            )
+            >> np.uint64(self._shift)
+        ).astype(np.int64)
         block = np.searchsorted(coarse_prefixes, slots, side="left")
         hi = np.minimum(block * coarse, num_points)
         lo = np.maximum((block - 1) * coarse + 1, 0)
@@ -300,9 +313,12 @@ class RadixSplineIndex(Index):
         while active.any():
             mid = (lo + hi) >> 1
             prefix = (
-                self._spline_key_at(np.where(active, mid, 0)).astype(np.int64)
-                - min_key
-            ) >> self._shift
+                (
+                    self._spline_key_at(np.where(active, mid, 0))
+                    - np.uint64(min_key)
+                )
+                >> np.uint64(self._shift)
+            ).astype(np.int64)
             go_left = active & (prefix >= slots)
             hi = np.where(go_left, mid, hi)
             lo = np.where(active & ~go_left, mid + 1, lo)
@@ -354,13 +370,15 @@ class RadixSplineIndex(Index):
         keys = np.asarray(keys, dtype=KEY_DTYPE)
         count = len(keys)
         n = len(self.column)
-        # 1. Radix table: one read per lookup.
-        clipped = np.clip(
-            keys.astype(np.int64) - self._min_key,
-            0,
-            self._max_spline_key - self._min_key,
-        )
-        prefixes = (clipped >> self._shift).astype(np.int64)
+        # 1. Radix table: one read per lookup.  Clamp-then-subtract in
+        # uint64: an int64 cast of keys >= 2^63 wraps negative, and a
+        # uint64 subtraction below min_key wraps huge -- both scramble
+        # the radix slot.
+        min_key = np.uint64(self._min_key)
+        span = np.uint64(self._max_spline_key - self._min_key)
+        clipped = np.where(keys > min_key, keys - min_key, np.uint64(0))
+        clipped = np.minimum(clipped, span)
+        prefixes = (clipped >> np.uint64(self._shift)).astype(np.int64)
         if recorder is not None:
             recorder.record(
                 self._radix_allocation.base + prefixes * KEY_BYTES
@@ -398,16 +416,23 @@ class RadixSplineIndex(Index):
             recorder.record(
                 self._spline_allocation.base + lower * _SPLINE_POINT_BYTES
             )
-        # 3. Interpolate.
-        key_low = self._spline_key_at(lower).astype(np.float64)
-        key_high = self._spline_key_at(upper).astype(np.float64)
+        # 3. Interpolate.  Deltas are formed in uint64 (exact) before the
+        # float conversion; probes below their segment's lower point
+        # (out-of-domain keys routed to slot 0) clamp to a zero delta.
+        key_low = self._spline_key_at(lower)
+        key_high = self._spline_key_at(upper)
         pos_low = self._spline_position_at(lower).astype(np.float64)
         pos_high = self._spline_position_at(upper).astype(np.float64)
-        span = np.maximum(key_high - key_low, 1.0)
-        predicted = pos_low + (
-            keys.astype(np.float64) - key_low
-        ) / span * (pos_high - pos_low)
-        estimate = np.clip(np.rint(predicted).astype(np.int64), 0, n - 1)
+        span = np.maximum((key_high - key_low).astype(np.float64), 1.0)
+        delta = np.where(
+            keys > key_low, keys - key_low, np.uint64(0)
+        ).astype(np.float64)
+        predicted = pos_low + delta / span * (pos_high - pos_low)
+        # Clamp before the int cast: probes far above their segment
+        # (out-of-domain keys -- guaranteed misses) can predict past the
+        # int64 range, and float->int64 overflow is undefined.
+        predicted = np.clip(predicted, 0.0, float(n - 1))
+        estimate = np.rint(predicted).astype(np.int64)
         # 4. Bounded binary search of the data.
         search_lo = np.maximum(estimate - self.error_bound, 0)
         search_hi = np.minimum(estimate + self.error_bound + 1, n)

@@ -1,0 +1,44 @@
+"""Sharded, batched, simulated-clock serving of index probes.
+
+The serving layer puts the paper's indexes behind a front door shaped
+like production traffic ("serve heavy traffic from millions of users",
+ROADMAP north star): the relation is range-sharded across N simulated
+GPUs (:mod:`.shard`), requests are buffered into per-shard tumbling
+windows that reuse the engine's window operator (:mod:`.batcher`),
+bounded backlogs apply backpressure (:mod:`.admission`), and a
+discrete-event loop over a logical clock (:mod:`.clock`,
+:mod:`.service`) schedules window execution priced by the perf replay
+model (:mod:`.executor`).  ``repro serve-bench`` (:mod:`.bench`) sweeps
+the configuration space and emits a bit-identical BENCH JSON.
+"""
+
+from .admission import AdmissionController
+from .batcher import ShardBatcher, Window
+from .clock import SimulatedClock
+from .executor import ShardExecutor, WindowResult
+from .service import (
+    ProbeRequest,
+    RequestOutcome,
+    ServeReport,
+    ShardStats,
+    ShardedIndexService,
+)
+from .shard import Shard, ShardPlan, fallback_shard, range_shard
+
+__all__ = [
+    "AdmissionController",
+    "ProbeRequest",
+    "RequestOutcome",
+    "ServeReport",
+    "Shard",
+    "ShardBatcher",
+    "ShardExecutor",
+    "ShardPlan",
+    "ShardStats",
+    "ShardedIndexService",
+    "SimulatedClock",
+    "Window",
+    "WindowResult",
+    "fallback_shard",
+    "range_shard",
+]

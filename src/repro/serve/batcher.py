@@ -1,0 +1,130 @@
+"""Tumbling-window batching of per-shard probe streams.
+
+The batcher is the serving-layer counterpart of the paper's Section 5
+windowed partitioning: each shard's probe stream is cut into disjoint
+fixed-size tumbling windows, closed when they reach capacity or when the
+stream ends.  Window boundaries are not re-implemented -- the batcher
+*drives* the engine's :class:`~repro.engine.pipeline.WindowOperator`
+over its pending batches, so serving windows and pipeline windows can
+never drift apart.  (``WindowOperator`` always emits its final partial
+window because a pull stream cannot distinguish "stream ended" from
+"more later"; the batcher, which does know, retains a trailing partial
+window until :meth:`flush`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..engine.pipeline import TupleBatch, WindowOperator
+from ..errors import ConfigurationError
+from ..units import KEY_BYTES
+
+
+@dataclass
+class Window:
+    """One closed tumbling window of a shard's probe stream.
+
+    Attributes:
+        shard_id: the shard whose stream this window belongs to.
+        keys: probe keys in arrival order.
+        indices: global stream position of each key.
+        full: False only for the final, flush-closed partial window.
+    """
+
+    shard_id: int
+    keys: np.ndarray
+    indices: np.ndarray
+    full: bool
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class ShardBatcher:
+    """Per-shard tumbling windows over pushed probe batches."""
+
+    def __init__(self, num_shards: int, window_bytes: int):
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"batcher needs at least one shard, got {num_shards}"
+            )
+        if window_bytes < KEY_BYTES:
+            raise ConfigurationError(
+                f"window must hold at least one tuple, got {window_bytes}"
+            )
+        self.num_shards = num_shards
+        self.window_bytes = window_bytes
+        self.window_tuples = max(1, window_bytes // KEY_BYTES)
+        self._pending: Dict[int, List[TupleBatch]] = {
+            shard: [] for shard in range(num_shards)
+        }
+        self._pending_tuples = np.zeros(num_shards, dtype=np.int64)
+
+    def pending_tuples(self, shard_id: int) -> int:
+        """Tuples buffered for ``shard_id`` in its open window."""
+        return int(self._pending_tuples[shard_id])
+
+    def push(
+        self, shard_id: int, keys: np.ndarray, indices: np.ndarray
+    ) -> List[Window]:
+        """Append a batch to a shard's stream; return any closed windows."""
+        if not 0 <= shard_id < self.num_shards:
+            raise ConfigurationError(
+                f"shard id {shard_id} outside [0, {self.num_shards})"
+            )
+        if len(keys) == 0:
+            return []
+        self._pending[shard_id].append(
+            TupleBatch(keys=keys, indices=np.asarray(indices, dtype=np.int64))
+        )
+        self._pending_tuples[shard_id] += len(keys)
+        if self._pending_tuples[shard_id] < self.window_tuples:
+            return []
+        return self._cut(shard_id, ended=False)
+
+    def flush(self, shard_id: int) -> List[Window]:
+        """Close the shard's open window early ("no more tuples are
+        available on the probe-side", Section 5.1)."""
+        return self._cut(shard_id, ended=True)
+
+    def flush_all(self) -> List[Window]:
+        """End-of-stream flush of every shard, in shard order."""
+        windows: List[Window] = []
+        for shard_id in range(self.num_shards):
+            windows.extend(self.flush(shard_id))
+        return windows
+
+    def _cut(self, shard_id: int, ended: bool) -> List[Window]:
+        """Run the engine's WindowOperator over pending batches.
+
+        Full windows are emitted; the operator's unconditional trailing
+        partial window is retained as the new pending state unless the
+        stream has ended.
+        """
+        pending = self._pending[shard_id]
+        if not pending:
+            return []
+        operator = WindowOperator(self.window_bytes)
+        cut = list(operator.process(iter(pending)))
+        self._pending[shard_id] = []
+        self._pending_tuples[shard_id] = 0
+        windows: List[Window] = []
+        for batch in cut:
+            if len(batch) < self.window_tuples and not ended:
+                # The open tail: put it back for the next push.
+                self._pending[shard_id] = [batch]
+                self._pending_tuples[shard_id] = len(batch)
+                break
+            windows.append(
+                Window(
+                    shard_id=shard_id,
+                    keys=batch.keys,
+                    indices=batch.indices,
+                    full=len(batch) >= self.window_tuples,
+                )
+            )
+        return windows

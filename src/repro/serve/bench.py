@@ -1,0 +1,281 @@
+"""``repro serve-bench``: sweep the serving layer, write BENCH JSON.
+
+Sweeps shard count x window size x Zipf skew over a reduced relation and
+reports, per sweep point, the serving simulation's makespan, throughput,
+latency percentiles, admission tallies, and per-shard ``serve.*``
+counters (including each shard's aggregated replay :class:`PerfCounters`).
+
+Unlike ``repro bench`` -- which times the *host* and therefore reads the
+wall clock -- every number here is simulated, so the payload carries no
+platform fields and two runs with the same seed are **bit-identical**;
+CI diffs the file directly.  Every request is also checked against the
+workload generator's ground-truth positions, so the bench doubles as an
+end-to-end differential test of the sharded path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from ..data.generator import WorkloadConfig, make_build_relation, make_probe_keys
+from ..errors import ConfigurationError, SimulationError
+from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..indexes import (
+    BinarySearchIndex,
+    BPlusTreeIndex,
+    HarmoniaIndex,
+    RadixSplineIndex,
+)
+from ..ioutil import atomic_write_json
+from ..perf.model import CostModel
+from ..units import KEY_BYTES, KIB
+from .executor import KERNELS_PER_WINDOW, ShardExecutor
+from .service import ProbeRequest, ServeReport, ShardedIndexService
+from .shard import CALIBRATION_SIM, fallback_shard, range_shard
+
+#: CLI index names (the four paper indexes).
+INDEX_BY_NAME: Dict[str, Type] = {
+    "binary-search": BinarySearchIndex,
+    "btree": BPlusTreeIndex,
+    "harmonia": HarmoniaIndex,
+    "radix-spline": RadixSplineIndex,
+}
+
+#: Default sweep axes: shard counts, window sizes (KiB), Zipf thetas.
+DEFAULT_SHARDS = (1, 2, 4)
+DEFAULT_WINDOW_KIB = (4, 16)
+DEFAULT_ZIPF = (0.0, 1.0)
+
+#: Default reduced workload: 2^16 R tuples, 64 requests x 512 keys.
+DEFAULT_R_TUPLES = 2**16
+DEFAULT_REQUESTS = 64
+DEFAULT_REQUEST_TUPLES = 512
+
+#: Fraction of modelled shard capacity the arrival schedule offers.
+#: Below 1.0 queues stay bounded; the backlog bound handles bursts.
+DEFAULT_UTILIZATION = 0.8
+
+#: Per-shard backlog bound, in windows worth of tuples.
+BACKLOG_WINDOWS = 8
+
+
+def _arrival_interval(
+    plan, window_tuples: int, request_tuples: int, spec: SystemSpec
+) -> float:
+    """Deterministic open-loop arrival spacing at the target load.
+
+    Models the fleet's service rate from shard 0's calibrated window
+    price (all shards serve near-equal slices of R, so one shard is a
+    good stand-in) and spaces arrivals so the offered tuple rate is
+    ``DEFAULT_UTILIZATION`` of it.
+    """
+    cost = CostModel(spec)
+    window_seconds = (
+        cost.probe_stage_time(plan.shards[0].window_counters(window_tuples))
+        + KERNELS_PER_WINDOW * cost.constants.kernel_launch_seconds
+    )
+    tuples_per_second = (
+        plan.num_shards * window_tuples / max(window_seconds, 1e-12)
+    )
+    return request_tuples / (tuples_per_second * DEFAULT_UTILIZATION)
+
+
+def _latency_summary(report: ServeReport) -> Dict[str, float]:
+    latencies = np.asarray(report.latencies, dtype=np.float64)
+    if len(latencies) == 0:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "p50": float(np.percentile(latencies, 50)),
+        "p95": float(np.percentile(latencies, 95)),
+        "p99": float(np.percentile(latencies, 99)),
+        "max": float(latencies.max()),
+    }
+
+
+def _per_shard_metrics(report: ServeReport) -> Dict[str, Dict[str, object]]:
+    """The ``serve.*`` metric block of one sweep point, per shard."""
+    metrics: Dict[str, Dict[str, object]] = {}
+    for shard_id, stats in sorted(report.shard_stats.items()):
+        replay = {
+            name: round(value, 6)
+            for name, value in sorted(stats.counters.as_dict().items())
+        }
+        metrics[str(shard_id)] = {
+            "serve.windows": stats.windows,
+            "serve.full_windows": stats.full_windows,
+            "serve.lookups": stats.lookups,
+            "serve.matches": stats.matches,
+            "serve.retries": stats.retries,
+            "serve.degraded_windows": stats.degraded_windows,
+            "serve.queue_wait_seconds": round(stats.queue_wait_seconds, 9),
+            "serve.busy_seconds": round(stats.busy_seconds, 9),
+            "serve.replay": replay,
+        }
+    return metrics
+
+
+def _check_against_oracle(
+    report: ServeReport, requests: List[ProbeRequest], expected: np.ndarray
+) -> None:
+    """Assert every served request matches the generator ground truth."""
+    for request, outcome in zip(requests, report.outcomes):
+        if not outcome.admitted:
+            continue
+        truth = expected[
+            request.request_id * len(request.keys) : (request.request_id + 1)
+            * len(request.keys)
+        ]
+        if outcome.positions is None or not np.array_equal(
+            outcome.positions, truth
+        ):
+            raise SimulationError(
+                f"served positions diverge from the oracle for request "
+                f"{request.request_id}"
+            )
+
+
+def run_sweep_point(
+    relation,
+    probes,
+    num_shards: int,
+    window_kib: int,
+    zipf_theta: float,
+    index_cls: Type,
+    request_tuples: int,
+    spec: SystemSpec = V100_NVLINK2,
+) -> dict:
+    """Serve one (shards, window, skew) configuration; returns its row."""
+    window_bytes = window_kib * KIB
+    plan = range_shard(relation, num_shards, index_cls)
+    executor = ShardExecutor(plan, fallback_shard(relation, index_cls))
+    service = ShardedIndexService(
+        plan,
+        executor,
+        window_bytes=window_bytes,
+        max_backlog_tuples=BACKLOG_WINDOWS * max(1, window_bytes // KEY_BYTES),
+    )
+    interval = _arrival_interval(
+        plan, max(1, window_bytes // KEY_BYTES), request_tuples, spec
+    )
+    num_requests = len(probes.keys) // request_tuples
+    requests = [
+        ProbeRequest(
+            request_id=i,
+            keys=probes.keys[i * request_tuples : (i + 1) * request_tuples],
+            arrival=i * interval,
+        )
+        for i in range(num_requests)
+    ]
+    report = service.run(requests)
+    _check_against_oracle(report, requests, probes.expected_positions)
+    return {
+        "shards": num_shards,
+        "window_kib": window_kib,
+        "zipf_theta": zipf_theta,
+        "requests": num_requests,
+        "admitted": report.admitted_requests,
+        "rejected": report.rejected_requests,
+        "arrival_interval_seconds": round(interval, 12),
+        "makespan_seconds": round(report.makespan_seconds, 9),
+        "total_lookups": report.total_lookups,
+        "throughput_lookups_per_second": round(
+            report.throughput_lookups_per_second, 3
+        ),
+        "latency_seconds": {
+            name: round(value, 9)
+            for name, value in _latency_summary(report).items()
+        },
+        "failed_shards": executor.failed_shards,
+        "per_shard": _per_shard_metrics(report),
+    }
+
+
+def run_serve_bench(
+    shards: Sequence[int] = DEFAULT_SHARDS,
+    window_kib: Sequence[int] = DEFAULT_WINDOW_KIB,
+    zipf_thetas: Sequence[float] = DEFAULT_ZIPF,
+    index: str = "binary-search",
+    r_tuples: int = DEFAULT_R_TUPLES,
+    requests: int = DEFAULT_REQUESTS,
+    request_tuples: int = DEFAULT_REQUEST_TUPLES,
+    seed: int = 42,
+    spec: SystemSpec = V100_NVLINK2,
+) -> dict:
+    """Run the full sweep; returns the JSON-ready payload."""
+    if index not in INDEX_BY_NAME:
+        raise ConfigurationError(
+            f"unknown index {index!r}; choose from "
+            f"{', '.join(sorted(INDEX_BY_NAME))}"
+        )
+    index_cls = INDEX_BY_NAME[index]
+    sweeps = []
+    for theta in zipf_thetas:
+        config = WorkloadConfig(
+            r_tuples=r_tuples,
+            s_tuples=requests * request_tuples,
+            zipf_theta=theta,
+            seed=seed,
+        )
+        relation = make_build_relation(config)
+        probes = make_probe_keys(relation.column, config)
+        for num_shards in shards:
+            for kib in window_kib:
+                sweeps.append(
+                    run_sweep_point(
+                        relation,
+                        probes,
+                        num_shards=num_shards,
+                        window_kib=kib,
+                        zipf_theta=theta,
+                        index_cls=index_cls,
+                        request_tuples=request_tuples,
+                        spec=spec,
+                    )
+                )
+    return {
+        "benchmark": "repro-serve",
+        "index": index,
+        "r_tuples": r_tuples,
+        "requests": requests,
+        "request_tuples": request_tuples,
+        "seed": seed,
+        "utilization": DEFAULT_UTILIZATION,
+        "backlog_windows": BACKLOG_WINDOWS,
+        "calibration_probe_sample": CALIBRATION_SIM.probe_sample,
+        "sweeps": sweeps,
+    }
+
+
+def write_serve_bench(payload: dict, path: str) -> None:
+    atomic_write_json(payload=payload, path=path, sort_keys=False)
+
+
+def main(
+    shards: Sequence[int] = DEFAULT_SHARDS,
+    window_kib: Sequence[int] = DEFAULT_WINDOW_KIB,
+    zipf_thetas: Sequence[float] = DEFAULT_ZIPF,
+    index: str = "binary-search",
+    seed: int = 42,
+    json_path: Optional[str] = None,
+) -> dict:
+    """CLI entry point: run the sweep, print a summary, optionally write."""
+    payload = run_serve_bench(
+        shards=shards,
+        window_kib=window_kib,
+        zipf_thetas=zipf_thetas,
+        index=index,
+        seed=seed,
+    )
+    for row in payload["sweeps"]:
+        print(
+            f"shards={row['shards']} window={row['window_kib']}KiB "
+            f"theta={row['zipf_theta']}: "
+            f"{row['throughput_lookups_per_second']:.0f} lookups/s, "
+            f"p99 {row['latency_seconds']['p99'] * 1e6:.1f}us, "
+            f"admitted {row['admitted']}/{row['requests']}"
+        )
+    if json_path:
+        write_serve_bench(payload, json_path)
+    return payload

@@ -1,0 +1,138 @@
+"""Window execution: probe, price, retry, degrade.
+
+The executor runs one closed window on its shard and answers two
+questions: *what are the positions* (by actually probing the simulated
+index) and *how long did it take* (by pricing the shard's replayed
+window counters through the cost model -- simulated seconds, never wall
+clock).  Failures are injected through the ``shard`` fault site and
+absorbed by the resilience layer's retry policy; backoff sleeps are
+captured into *simulated* delay instead of sleeping, so fault plans
+stretch latency without touching the wall clock.  A shard that exhausts
+its retry budget is marked failed and its traffic degrades to the
+single-shard fallback index -- slower, but returning identical global
+positions, so recovery never changes results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..config import SimulationConfig
+from ..errors import SweepExecutionError
+from ..hardware.counters import PerfCounters
+from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..perf.model import CostModel
+from ..resilience import faults
+from ..resilience.retry import RetryPolicy, active_policy, with_retry
+from .batcher import Window
+from .shard import CALIBRATION_SIM, Shard, ShardPlan
+
+#: Fault-injection site checked before every window probe.  Plans match
+#: shards via the label, e.g. ``shard:raise@2:match=shard1``.
+FAULT_SITE = "shard"
+
+#: A window executes as two serial kernels, mirroring the windowed
+#: INLJ's partition-then-probe stage pair (Section 5).
+KERNELS_PER_WINDOW = 2
+
+
+@dataclass
+class WindowResult:
+    """Outcome of executing one window.
+
+    ``service_seconds`` is pure simulated time: the cost model's price
+    for the window's replayed counters, two kernel launches, and any
+    retry backoff (captured, not slept).
+    """
+
+    window: Window
+    positions: np.ndarray
+    service_seconds: float
+    counters: PerfCounters
+    retries: int = 0
+    degraded: bool = False
+    #: Filled in by the service: seconds the window sat queued.
+    queue_wait: float = 0.0
+
+
+@dataclass
+class ShardExecutor:
+    """Executes windows against a :class:`ShardPlan` with a fallback."""
+
+    plan: ShardPlan
+    fallback: Shard
+    spec: SystemSpec = V100_NVLINK2
+    sim: SimulationConfig = CALIBRATION_SIM
+    policy: Optional[RetryPolicy] = None
+    _cost: CostModel = field(init=False)
+    _failed: List[bool] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.policy is None:
+            self.policy = active_policy()
+        self._cost = CostModel(self.spec)
+        self._failed = [False] * self.plan.num_shards
+
+    def shard_failed(self, shard_id: int) -> bool:
+        """True once ``shard_id`` exhausted its retry budget."""
+        return self._failed[shard_id]
+
+    @property
+    def failed_shards(self) -> List[int]:
+        return [sid for sid, down in enumerate(self._failed) if down]
+
+    def execute(self, window: Window) -> WindowResult:
+        """Run one window; returns positions plus simulated timing."""
+        shard = self.plan.shards[window.shard_id]
+        delays: List[float] = []
+        degraded = self._failed[window.shard_id]
+
+        def probe() -> np.ndarray:
+            faults.check(FAULT_SITE, label=f"shard{window.shard_id}")
+            return shard.probe(window.keys)
+
+        positions: Optional[np.ndarray] = None
+        if not degraded:
+            try:
+                positions = with_retry(
+                    probe,
+                    self.policy,
+                    label=f"serve.shard{window.shard_id}",
+                    sleep=delays.append,
+                )
+            except SweepExecutionError:
+                self._failed[window.shard_id] = True
+                degraded = True
+                if obs.enabled():
+                    obs.add("serve.shard_failures", shard=window.shard_id)
+        if degraded:
+            # The fallback index spans all of R, so its positions are
+            # already global -- identical to the healthy shard's answer.
+            positions = self.fallback.probe(window.keys)
+        assert positions is not None
+        active = self.fallback if degraded else shard
+        counters = active.window_counters(len(window), self.spec, self.sim)
+        service = (
+            self._cost.probe_stage_time(counters)
+            + KERNELS_PER_WINDOW * self._cost.constants.kernel_launch_seconds
+            + sum(delays)
+        )
+        if obs.enabled():
+            if delays:
+                obs.add(
+                    "serve.retries", len(delays), shard=window.shard_id
+                )
+            if degraded:
+                obs.add("serve.degraded_windows", shard=window.shard_id)
+        return WindowResult(
+            window=window,
+            positions=positions,
+            service_seconds=service,
+            counters=counters,
+            retries=len(delays),
+            degraded=degraded,
+        )

@@ -1,6 +1,22 @@
-"""Shared fixtures: small, fast workloads exercising every layer."""
+"""Shared fixtures: small, fast workloads exercising every layer.
+
+Also registers the hypothesis profiles used by the property-based
+suites (see TESTING.md):
+
+* ``repro`` (default) -- derandomized: examples are derived from each
+  test's source, so every run and every machine explores the same
+  inputs; failures are reproducible without sharing ``.hypothesis``
+  state.
+* ``ci`` -- derandomized like ``repro`` but with a larger example
+  budget; the dedicated property-test CI job selects it via
+  ``HYPOTHESIS_PROFILE=ci``.
+
+Select a profile with ``HYPOTHESIS_PROFILE=<name> pytest ...``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -10,6 +26,19 @@ from repro.data.column import VirtualSortedColumn
 from repro.data.generator import WorkloadConfig, make_workload
 from repro.data.relation import Relation
 from repro.hardware.spec import V100_NVLINK2
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile(
+        "repro", derandomize=True, max_examples=25, deadline=None
+    )
+    settings.register_profile(
+        "ci", derandomize=True, max_examples=100, deadline=None
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+except ImportError:  # pragma: no cover - property suites skip themselves
+    pass
 
 
 @pytest.fixture

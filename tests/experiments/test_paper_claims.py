@@ -1,0 +1,151 @@
+"""Paper-claims regression pins (Sections 4-5 of the paper).
+
+Two families of claims, both asserted at a tiny deterministic
+configuration so a model regression fails loudly instead of drifting:
+
+* **Crossover** (Section 5.2.3 / Figure 9): the windowed INLJ overtakes
+  the hash join once R is large enough that rebuilding the hash table
+  dominates.  Beyond the directional checks in test_paper_shapes.py,
+  this pins the *interpolated* crossover point of the tiny sweep, so a
+  cost-model change that silently shifts the balance trips the test.
+* **TLB replay counters** (Section 4.3 / Figure 6): windowed
+  partitioning turns the index probe into per-window sweeps whose
+  translation traffic is analytic and fully deterministic.  The
+  per-lookup counters below were pinned from a seeded run of this exact
+  configuration; the committed tolerances are deliberately tight.
+
+All numbers were produced by the code under test at the configuration
+constants below and committed after inspection -- rerun any test body
+by hand to regenerate them after an *intentional* model change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.common import (
+    default_partitioner,
+    gib_to_tuples,
+    make_environment,
+)
+from repro.experiments.fig9 import find_crossover
+from repro.hardware.spec import V100_NVLINK2
+from repro.indexes import RadixSplineIndex
+from repro.join.hash_join import HashJoin
+from repro.join.inlj import IndexNestedLoopJoin
+from repro.join.window import WindowedINLJ
+from repro.perf.report import Series
+from repro.units import MIB
+
+#: Tiny but fully deterministic simulation: every pinned number below
+#: is specific to this sample size.
+CLAIMS_SIM = SimulationConfig(probe_sample=2**12)
+WINDOW_BYTES = 32 * MIB  # the paper's window size (Section 5.1)
+
+#: Interpolated INLJ-vs-hash crossover of the tiny sweep on V100/NVLink
+#: (the paper's full-scale figure puts it at 6.2 GiB; the tiny sample
+#: shifts it, which is fine -- the pin guards the *model*, not the
+#: paper's absolute number).
+PINNED_CROSSOVER_GIB = 12.836480407097373
+
+#: Windowed-partitioning TLB replay counters per lookup at 8 GiB R,
+#: RadixSpline, 32 MiB windows (analytic sweep-page model).
+PINNED_TLB_MISSES_PER_LOOKUP = 9.78469850451802e-04
+PINNED_TRANSLATION_REQUESTS_PER_LOOKUP = 5.870819102710811e-03
+
+
+def windowed_cost(gib: float, spec=V100_NVLINK2):
+    env = make_environment(
+        spec, gib_to_tuples(gib), index_cls=RadixSplineIndex, sim=CLAIMS_SIM
+    )
+    join = WindowedINLJ(
+        env.index, default_partitioner(env.column), window_bytes=WINDOW_BYTES
+    )
+    return join.estimate(env)
+
+
+def hash_cost(gib: float, spec=V100_NVLINK2):
+    env = make_environment(spec, gib_to_tuples(gib), sim=CLAIMS_SIM)
+    return HashJoin(env.relation).estimate(env)
+
+
+class TestCrossoverClaim:
+    """Partitioned INLJ overtakes the hash join past the crossover."""
+
+    def test_hash_wins_well_below_crossover(self):
+        assert (
+            hash_cost(2.0).queries_per_second
+            > 2 * windowed_cost(2.0).queries_per_second
+        )
+
+    def test_inlj_wins_past_crossover(self):
+        assert (
+            windowed_cost(16.0).queries_per_second
+            > hash_cost(16.0).queries_per_second
+        )
+
+    def test_interpolated_crossover_is_pinned(self):
+        inlj, hashed = Series("inlj"), Series("hash")
+        for gib in (2.0, 4.0, 8.0, 16.0, 24.0):
+            inlj.append(gib, windowed_cost(gib).queries_per_second)
+            hashed.append(gib, hash_cost(gib).queries_per_second)
+        crossover = find_crossover(inlj, hashed)
+        assert crossover == pytest.approx(PINNED_CROSSOVER_GIB, rel=0.05)
+
+    def test_windowing_restores_naive_inlj_throughput(self):
+        """Section 5.1: the tumbling window recovers the pipelined
+        throughput the unpartitioned random-order INLJ loses."""
+        env = make_environment(
+            V100_NVLINK2,
+            gib_to_tuples(8.0),
+            index_cls=RadixSplineIndex,
+            sim=CLAIMS_SIM,
+        )
+        windowed = WindowedINLJ(
+            env.index,
+            default_partitioner(env.column),
+            window_bytes=WINDOW_BYTES,
+        ).estimate(env)
+        naive = IndexNestedLoopJoin(env.index).estimate(env)
+        assert (
+            windowed.queries_per_second > 1.5 * naive.queries_per_second
+        )
+
+
+class TestWindowedTlbReplayCounters:
+    """Pinned per-lookup TLB traffic of the windowed partitioning path."""
+
+    def test_counters_match_pinned_values(self):
+        counters = windowed_cost(8.0).counters
+        per_lookup_misses = counters.tlb_misses / counters.lookups
+        per_lookup_requests = (
+            counters.translation_requests / counters.lookups
+        )
+        assert per_lookup_misses == pytest.approx(
+            PINNED_TLB_MISSES_PER_LOOKUP, rel=1e-3
+        )
+        assert per_lookup_requests == pytest.approx(
+            PINNED_TRANSLATION_REQUESTS_PER_LOOKUP, rel=1e-3
+        )
+        # Ordered windows never revisit a cold page mid-window.
+        assert counters.tlb_cold_misses == 0.0
+
+    def test_replay_factor_relationship(self):
+        """Every TLB miss replays ``tlb_replay_factor`` translation
+        requests (Section 4.3's far-fault replay measurement)."""
+        counters = windowed_cost(8.0).counters
+        assert counters.translation_requests == pytest.approx(
+            counters.tlb_misses * RadixSplineIndex.tlb_replay_factor,
+            rel=1e-9,
+        )
+
+    def test_tlb_misses_scale_linearly_with_r(self):
+        """Sweep pages per window grow with the index span, so doubling
+        R doubles the per-lookup miss rate (Figure 6's linear regime)."""
+        small = windowed_cost(4.0).counters
+        large = windowed_cost(8.0).counters
+        ratio = (large.tlb_misses / large.lookups) / (
+            small.tlb_misses / small.lookups
+        )
+        assert ratio == pytest.approx(2.0, rel=0.05)

@@ -157,3 +157,31 @@ class TestTraversalEdgeCases:
         index = BPlusTreeIndex(relation)
         beyond = np.array([relation.column.max_key + 10], dtype=np.uint64)
         assert index.lookup(beyond).tolist() == [-1]
+
+
+class TestLeafPaddingRegression:
+    def test_regression_max_key_probe_does_not_match_leaf_padding(self):
+        """Named regression test for the differential-suite finding.
+
+        Leaf slots past the end of the column hold the MAX-key sentinel.
+        A probe key of 2^64 - 1 compared equal to that padding and came
+        back with an out-of-bounds "position" (e.g. position 1 in a
+        1-tuple relation).  A hit now also requires the slot to be a
+        real data slot.
+        """
+        max_key = np.uint64(np.iinfo(np.uint64).max)
+        for n in (1, 7, 512, 512 + 13):  # ragged and exact-leaf shapes
+            keys = np.arange(3, 3 + 4 * n, 4, dtype=np.uint64)
+            relation = Relation("R", MaterializedColumn(keys))
+            index = BPlusTreeIndex(relation)
+            probes = np.asarray([max_key, keys[-1], keys[-1] + 2], dtype=np.uint64)
+            assert index.lookup(probes).tolist() == [-1, n - 1, -1]
+
+    def test_regression_max_key_as_real_data_still_matches(self):
+        """The guard must not break a relation that legitimately ends
+        at the maximum representable key."""
+        max_key = np.uint64(np.iinfo(np.uint64).max)
+        keys = np.asarray([5, 100, max_key], dtype=np.uint64)
+        relation = Relation("R", MaterializedColumn(keys))
+        index = BPlusTreeIndex(relation)
+        assert index.lookup(np.asarray([max_key], dtype=np.uint64)).tolist() == [2]

@@ -181,3 +181,89 @@ def test_greedy_corridor_property(size, max_error, seed):
     # Spline points are a subsequence of the data.
     assert np.all(np.isin(point_keys, keys))
     assert point_positions[0] == 0 and point_positions[-1] == size - 1
+
+
+class TestLargeKeyRegressions:
+    """Named regression tests for bugs surfaced by the differential
+    suite (tests/indexes/test_differential.py)."""
+
+    @staticmethod
+    def _oracle(keys, probes):
+        positions = np.searchsorted(keys, probes)
+        clamped = np.minimum(positions, len(keys) - 1)
+        hit = (positions < len(keys)) & (keys[clamped] == probes)
+        return np.where(hit, positions, -1).astype(np.int64)
+
+    def test_regression_adjacent_large_keys_build(self):
+        """Keys near 2^62 with gap 3 used to abort the corridor builder.
+
+        ``greedy_spline_corridor`` subtracted keys *after* converting to
+        float64; at 2^62 the float64 ulp is 1024, so a gap of 3 rounded
+        to dx = 0 and the builder raised "keys must be strictly
+        increasing" on perfectly valid input.  Deltas are now formed on
+        exact integers before the float division.
+        """
+        keys = (np.uint64(2**62) + np.arange(100, dtype=np.uint64) * 3).astype(
+            np.uint64
+        )
+        point_keys, point_positions = greedy_spline_corridor(keys, max_error=4)
+        assert point_positions[-1] == len(keys) - 1
+        from repro.data.relation import Relation
+
+        index = RadixSplineIndex(
+            Relation(name="R", column=MaterializedColumn(keys))
+        )
+        probes = np.concatenate([keys, keys + np.uint64(1)])
+        np.testing.assert_array_equal(
+            index.lookup(probes), self._oracle(keys, probes)
+        )
+
+    def test_regression_high_bit_keys_radix_table(self):
+        """Keys at or above 2^63 used to wrap in the radix table.
+
+        Prefix computation cast keys to int64 *before* subtracting the
+        domain minimum; keys >= 2^63 became negative, producing garbage
+        table slots.  Subtraction now happens in uint64.
+        """
+        rng = np.random.default_rng(13)
+        keys = np.unique(
+            (np.uint64(2**63 + 17) + rng.integers(0, 2**20, 500)).astype(
+                np.uint64
+            )
+        )
+        from repro.data.relation import Relation
+
+        index = RadixSplineIndex(
+            Relation(name="R", column=MaterializedColumn(keys))
+        )
+        probes = np.concatenate(
+            [keys[::3], keys[::5] + np.uint64(1), keys[:1] - np.uint64(1)]
+        )
+        np.testing.assert_array_equal(
+            index.lookup(probes), self._oracle(keys, probes)
+        )
+
+    def test_regression_out_of_domain_probe_overflow(self):
+        """A probe far above the domain used to overflow the int cast.
+
+        The interpolation estimate for an out-of-domain probe (e.g.
+        2^64 - 1 against a small-key relation) exceeded the int64 range
+        and the float->int cast raised "invalid value encountered in
+        cast".  The estimate is now clamped in float space first; the
+        probe is a clean miss, warning-free.
+        """
+        import warnings
+
+        keys = np.arange(0, 4000, 4, dtype=np.uint64)
+        from repro.data.relation import Relation
+
+        index = RadixSplineIndex(
+            Relation(name="R", column=MaterializedColumn(keys))
+        )
+        probes = np.asarray(
+            [np.iinfo(np.uint64).max, 2**63, 3996, 3997], dtype=np.uint64
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = index.lookup(probes)
+        np.testing.assert_array_equal(result, [-1, -1, 999, -1])

@@ -171,3 +171,36 @@ class TestHashJoinFunctional:
         join = HashJoin(virtual_relation)
         with pytest.raises(WorkloadError):
             join.join(np.array([1], dtype=np.uint64))
+
+
+class TestPartialWindowFlushRegression:
+    def test_regression_matches_only_in_partial_window_are_joined(self):
+        """Named regression guard for the final partial-window flush.
+
+        Build a probe stream whose *only* matching keys sit in the
+        trailing partial window (stream length deliberately not a
+        multiple of the window capacity).  An operator that dropped or
+        skipped the early-closing window (Section 5.1) would return an
+        empty result here while still passing full-window tests.
+        """
+        from repro.data.column import MaterializedColumn
+        from repro.data.relation import Relation
+        from repro.indexes import BinarySearchIndex
+
+        keys = np.arange(0, 8000, 8, dtype=np.uint64)
+        relation = Relation("R", MaterializedColumn(keys))
+        window_tuples = 64
+        # 3 full windows of guaranteed misses, then a 5-tuple tail of hits.
+        misses = keys[: 3 * window_tuples] + np.uint64(1)
+        hits = keys[100:105]
+        probes = np.concatenate([misses, hits])
+        assert len(probes) % window_tuples != 0
+        join = WindowedINLJ(
+            BinarySearchIndex(relation),
+            make_partitioner(relation),
+            window_bytes=window_tuples * 8,
+        )
+        result = join.join(probes)
+        assert result.probe_indices.tolist() == [192, 193, 194, 195, 196]
+        assert result.build_positions.tolist() == [100, 101, 102, 103, 104]
+        assert result.equals(reference_join(relation.column, probes))

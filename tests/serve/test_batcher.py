@@ -1,0 +1,94 @@
+"""Tumbling-window batcher: boundaries, partial flush, reuse of the
+engine's window operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.batcher import ShardBatcher
+from repro.units import KEY_BYTES
+
+
+def keys_of(count, start=0):
+    return np.arange(start, start + count, dtype=np.uint64)
+
+
+def indices_of(count, start=0):
+    return np.arange(start, start + count, dtype=np.int64)
+
+
+class TestShardBatcher:
+    def test_window_closes_exactly_at_capacity(self):
+        batcher = ShardBatcher(num_shards=1, window_bytes=8 * KEY_BYTES)
+        assert batcher.push(0, keys_of(7), indices_of(7)) == []
+        windows = batcher.push(0, keys_of(1, 7), indices_of(1, 7))
+        assert len(windows) == 1
+        assert windows[0].full
+        assert len(windows[0]) == 8
+        assert batcher.pending_tuples(0) == 0
+
+    def test_oversized_push_emits_multiple_windows(self):
+        batcher = ShardBatcher(num_shards=1, window_bytes=4 * KEY_BYTES)
+        windows = batcher.push(0, keys_of(11), indices_of(11))
+        assert [len(w) for w in windows] == [4, 4]
+        assert all(w.full for w in windows)
+        # The trailing 3 tuples stay buffered, not emitted.
+        assert batcher.pending_tuples(0) == 3
+
+    def test_windows_preserve_arrival_order_and_indices(self):
+        batcher = ShardBatcher(num_shards=1, window_bytes=4 * KEY_BYTES)
+        batcher.push(0, keys_of(2, 100), indices_of(2, 0))
+        windows = batcher.push(0, keys_of(3, 200), indices_of(3, 2))
+        assert len(windows) == 1
+        np.testing.assert_array_equal(
+            windows[0].keys, [100, 101, 200, 201]
+        )
+        np.testing.assert_array_equal(windows[0].indices, [0, 1, 2, 3])
+        assert batcher.pending_tuples(0) == 1
+
+    def test_flush_emits_partial_window(self):
+        """Named regression guard: the final partial window must flush.
+
+        Section 5.1 processes a window early "if no more tuples are
+        available on the probe side"; a batcher that only emitted full
+        windows would silently drop up to window_size - 1 trailing
+        probes of every stream.
+        """
+        batcher = ShardBatcher(num_shards=2, window_bytes=8 * KEY_BYTES)
+        batcher.push(1, keys_of(3), indices_of(3))
+        windows = batcher.flush_all()
+        assert [w.shard_id for w in windows] == [1]
+        assert not windows[0].full
+        assert len(windows[0]) == 3
+        # Flush is terminal for the buffered state: nothing remains.
+        assert batcher.pending_tuples(1) == 0
+        assert batcher.flush_all() == []
+
+    def test_flush_after_exact_fill_emits_nothing(self):
+        batcher = ShardBatcher(num_shards=1, window_bytes=4 * KEY_BYTES)
+        batcher.push(0, keys_of(4), indices_of(4))
+        assert batcher.flush_all() == []
+
+    def test_per_shard_streams_are_independent(self):
+        batcher = ShardBatcher(num_shards=3, window_bytes=4 * KEY_BYTES)
+        batcher.push(0, keys_of(3), indices_of(3))
+        windows = batcher.push(2, keys_of(4), indices_of(4))
+        assert [w.shard_id for w in windows] == [2]
+        assert batcher.pending_tuples(0) == 3
+        assert batcher.pending_tuples(1) == 0
+
+    def test_rejects_unknown_shard_and_degenerate_window(self):
+        batcher = ShardBatcher(num_shards=1, window_bytes=8 * KEY_BYTES)
+        with pytest.raises(ConfigurationError):
+            batcher.push(1, keys_of(1), indices_of(1))
+        with pytest.raises(ConfigurationError):
+            ShardBatcher(num_shards=1, window_bytes=KEY_BYTES - 1)
+        with pytest.raises(ConfigurationError):
+            ShardBatcher(num_shards=0, window_bytes=8 * KEY_BYTES)
+
+    def test_empty_push_is_a_no_op(self):
+        batcher = ShardBatcher(num_shards=1, window_bytes=4 * KEY_BYTES)
+        assert batcher.push(0, keys_of(0), indices_of(0)) == []
+        assert batcher.pending_tuples(0) == 0

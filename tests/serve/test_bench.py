@@ -1,0 +1,84 @@
+"""``repro serve-bench``: payload shape, determinism, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.bench import run_serve_bench, write_serve_bench
+
+BENCH_KWARGS = dict(
+    shards=(1, 2),
+    window_kib=(4,),
+    zipf_thetas=(0.0,),
+    r_tuples=2**12,
+    requests=8,
+    request_tuples=128,
+)
+
+
+class TestServeBench:
+    def test_payload_shape(self):
+        payload = run_serve_bench(**BENCH_KWARGS)
+        assert payload["benchmark"] == "repro-serve"
+        assert len(payload["sweeps"]) == 2
+        row = payload["sweeps"][-1]
+        assert row["shards"] == 2
+        assert set(row["per_shard"]) == {"0", "1"}
+        shard = row["per_shard"]["0"]
+        assert shard["serve.windows"] > 0
+        assert shard["serve.lookups"] > 0
+        assert shard["serve.replay"]["memory_accesses"] > 0
+        assert row["admitted"] + row["rejected"] == row["requests"]
+        assert row["throughput_lookups_per_second"] > 0
+        assert row["latency_seconds"]["p99"] >= row["latency_seconds"]["p50"]
+        assert row["failed_shards"] == []
+
+    def test_payload_is_bit_identical_across_runs(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_serve_bench(run_serve_bench(**BENCH_KWARGS), str(first))
+        write_serve_bench(run_serve_bench(**BENCH_KWARGS), str(second))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_seed_changes_payload(self):
+        base = run_serve_bench(**BENCH_KWARGS)
+        other = run_serve_bench(seed=43, **BENCH_KWARGS)
+        assert base != other
+        assert other["seed"] == 43
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_serve_bench(index="fractal-tree", **BENCH_KWARGS)
+
+    @pytest.mark.parametrize(
+        "index", ["btree", "harmonia", "radix-spline"]
+    )
+    def test_all_indexes_serve_correctly(self, index):
+        # run_serve_bench asserts every served request against the
+        # workload generator's ground truth internally.
+        payload = run_serve_bench(index=index, **BENCH_KWARGS)
+        assert payload["index"] == index
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "BENCH_serve.json"
+        status = main(
+            [
+                "serve-bench",
+                "--shards", "2",
+                "--window-kib", "4",
+                "--zipf", "0.0",
+                "--index", "binary-search",
+                "--json", str(out),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "repro-serve"
+        assert [row["shards"] for row in payload["sweeps"]] == [2]
+        captured = capsys.readouterr()
+        assert "lookups/s" in captured.out
