@@ -6,6 +6,9 @@ Commands:
   paper's tables and figures (same as ``python -m repro.experiments.runner``);
 * ``bench [--json FILE] [--compare-reference]`` -- time the standard
   sweeps and record wall clocks plus key counters to a JSON report;
+* ``bench2 [--json FILE] [--workers N] [--min-serve-throughput N]`` --
+  benchmark the fused probe path: kernel micro-bench, the BENCH_1 sweep
+  set through the worker pool, and the serve-bench sweep (BENCH_2.json);
 * ``serve-bench [--shards N...] [--window-kib K...] [--zipf T...]
   [--index NAME] [--seed S] [--json FILE]`` -- sweep the sharded
   serving layer (simulated clock; output is bit-identical per seed);
@@ -108,6 +111,17 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_bench2(args) -> int:
+    from .experiments.bench2 import main as bench2_main
+
+    return bench2_main(
+        json_path=args.json,
+        workers=args.workers,
+        baseline_path=args.baseline,
+        min_serve_throughput=args.min_serve_throughput,
+    )
+
+
 def cmd_serve_bench(args) -> int:
     from .serve.bench import main as serve_bench_main
 
@@ -118,6 +132,7 @@ def cmd_serve_bench(args) -> int:
         index=args.index,
         seed=args.seed,
         json_path=args.json,
+        workers=args.workers,
     )
     return 0
 
@@ -171,12 +186,34 @@ def main(argv=None) -> int:
         help="write the benchmark payload to FILE (e.g. BENCH_1.json)",
     )
     bench.add_argument(
-        "--workers", type=int, default=1,
-        help="processes for the sweeps",
+        "--workers", type=int, default=0,
+        help="processes for the sweeps (0 = one per CPU core)",
     )
     bench.add_argument(
         "--compare-reference", action="store_true",
         help="also time the OrderedDict reference models for a speedup figure",
+    )
+
+    bench2 = subparsers.add_parser(
+        "bench2",
+        help="benchmark the fused probe path and write BENCH_2.json",
+    )
+    bench2.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the benchmark payload to FILE (e.g. BENCH_2.json)",
+    )
+    bench2.add_argument(
+        "--workers", type=int, default=0,
+        help="sweep processes (0 = one per CPU core)",
+    )
+    bench2.add_argument(
+        "--baseline", default="BENCH_1.json", metavar="FILE",
+        help="BENCH_1 payload to compare the sweep wall clock against",
+    )
+    bench2.add_argument(
+        "--min-serve-throughput", type=float, default=None, metavar="N",
+        help="fail (exit 1) if the simulated peak serve throughput drops "
+        "below N lookups/s (deterministic per seed)",
     )
 
     serve_bench = subparsers.add_parser(
@@ -206,6 +243,11 @@ def main(argv=None) -> int:
     serve_bench.add_argument(
         "--json", default=None, metavar="FILE",
         help="write the sweep payload to FILE (e.g. BENCH_serve.json)",
+    )
+    serve_bench.add_argument(
+        "--workers", type=int, default=0,
+        help="sweep-point processes (0 = one per CPU core; payload is "
+        "bit-identical at any worker count)",
     )
 
     obs_parser = subparsers.add_parser(
@@ -248,6 +290,8 @@ def main(argv=None) -> int:
             return cmd_experiments(args)
         if args.command == "bench":
             return cmd_bench(args)
+        if args.command == "bench2":
+            return cmd_bench2(args)
         if args.command == "serve-bench":
             return cmd_serve_bench(args)
         if args.command == "lint":

@@ -9,17 +9,26 @@ Rule id prefixes group by invariant family:
 * ``OBS`` -- instrumentation contracts (:mod:`repro.obs` naming and
   the branch-cheap disabled path);
 * ``NP`` -- numpy dtype discipline in index math;
+* ``PERF`` -- no interpreted per-element loops in the probe hot paths;
 * ``RES`` -- durable-artifact crash safety (:mod:`repro.ioutil`).
 """
 
 from __future__ import annotations
 
-from . import determinism, numpy_ops, obs_contracts, resilience, units_discipline
+from . import (
+    determinism,
+    numpy_ops,
+    obs_contracts,
+    perf,
+    resilience,
+    units_discipline,
+)
 
 __all__ = [
     "determinism",
     "numpy_ops",
     "obs_contracts",
+    "perf",
     "resilience",
     "units_discipline",
 ]

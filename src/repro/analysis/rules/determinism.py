@@ -148,6 +148,7 @@ class WallClock(Rule):
         "repro/obs/tracing.py",
         "repro/experiments/runner.py",
         "repro/experiments/bench.py",
+        "repro/experiments/bench2.py",
         "repro/resilience/report.py",
     )
 

@@ -23,7 +23,7 @@ from ..ioutil import atomic_write_json
 from ..perf.alloc import tune_allocator
 from ..resilience.retry import active_policy
 from . import cache, fig3, fig5
-from .common import validate_workers
+from .common import resolve_workers
 
 #: R sizes (GiB) the benchmark sweeps -- a spread around the paper's
 #: 32 GiB TLB-range knee plus the 111 GiB endpoint.
@@ -87,19 +87,21 @@ def _run_sweeps(
 
 def run_bench(
     r_sizes_gib: Sequence[float] = BENCH_R_SIZES_GIB,
-    workers: int = 1,
+    workers: int = 0,
     compare_reference: bool = False,
 ) -> dict:
     """Benchmark the standard sweeps; returns the JSON-ready payload.
 
-    With ``compare_reference`` the sweeps run a second time with the
-    ``OrderedDict`` reference replay models and no session cache, and the
-    payload gains a ``speedup`` entry.  The fast and reference passes
-    produce identical figure data (the equivalence suite in
-    ``tests/hardware/test_fast_models.py`` asserts exact counter
-    equality), so the speedup compares like with like.
+    ``workers=0`` (the default) resolves to one sweep process per CPU
+    core through the resilient pool; figures are bit-identical at any
+    worker count.  With ``compare_reference`` the sweeps run a second
+    time with the ``OrderedDict`` reference replay models and no
+    session cache, and the payload gains a ``speedup`` entry.  The fast
+    and reference passes produce identical figure data (the equivalence
+    suite in ``tests/hardware/test_fast_models.py`` asserts exact
+    counter equality), so the speedup compares like with like.
     """
-    validate_workers(workers)
+    workers = resolve_workers(workers)
     policy = active_policy()
     payload = {
         "benchmark": "repro-sweeps",
@@ -137,7 +139,7 @@ def write_bench(payload: dict, path: str) -> None:
 
 def main(
     json_path: Optional[str] = None,
-    workers: int = 1,
+    workers: int = 0,
     compare_reference: bool = False,
 ) -> dict:
     """CLI entry point: run, print a short summary, optionally write JSON."""
@@ -146,7 +148,7 @@ def main(
     print(
         f"fast sweep: fig3 {fast['fig3_seconds']:.1f}s + "
         f"fig5 {fast['fig5_seconds']:.1f}s = {fast['total_seconds']:.1f}s "
-        f"(workers={workers}, cache hits: "
+        f"(workers={fast['workers']}, cache hits: "
         f"{fast['cache_stats']['point_hits']} points, "
         f"{fast['cache_stats']['environment_hits']} environments)"
     )

@@ -214,6 +214,21 @@ def validate_workers(workers) -> int:
     return workers
 
 
+def resolve_workers(workers) -> int:
+    """Worker count with ``0``/``None`` meaning auto: one per CPU core."""
+    if workers is None:
+        workers = 0
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ConfigurationError(
+            f"workers must be an integer, got {workers!r}"
+        )
+    if workers == 0:
+        import os
+
+        return max(1, os.cpu_count() or 1)
+    return validate_workers(workers)
+
+
 #: Diagnostics from the most recent :func:`map_standard_points` call in
 #: this process: resumed/computed point counts, retries, pool restarts,
 #: and whether the sweep degraded to serial.  Read by tests and by the
@@ -255,21 +270,22 @@ def _init_worker() -> None:
     faults.reset_for_worker()
 
 
-def _run_serial(tasks, indices, results, policy, checkpoint, fingerprints):
+def _run_serial(run_task, label_fn, tasks, indices, results, policy,
+                checkpoint, fingerprints):
     """Serial execution with retry; used directly and as the fallback."""
     for index in indices:
         outcome = with_retry(
-            lambda task=tasks[index]: run_standard_point(task),
+            lambda task=tasks[index]: run_task(task),
             policy,
-            label=task_label(tasks[index]),
+            label=label_fn(tasks[index]),
         )
         results[index] = outcome
         LAST_SWEEP["computed"] += 1
         _record(checkpoint, fingerprints, index, outcome)
 
 
-def _run_pooled(tasks, pending, results, workers, policy, checkpoint,
-                fingerprints):
+def _run_pooled(run_task, label_fn, merge, tasks, pending, results, workers,
+                policy, checkpoint, fingerprints):
     """Fan pending points across a pool, surviving crashes and hangs.
 
     Every point is submitted individually and collected with a per-point
@@ -295,11 +311,11 @@ def _run_pooled(tasks, pending, results, workers, policy, checkpoint,
         requeue = []
         try:
             handles = [
-                (index, pool.apply_async(run_standard_point, (tasks[index],)))
+                (index, pool.apply_async(run_task, (tasks[index],)))
                 for index in pending
             ]
             for index, handle in handles:
-                label = task_label(tasks[index])
+                label = label_fn(tasks[index])
                 try:
                     outcome = handle.get(policy.point_timeout)
                 except multiprocessing.TimeoutError:
@@ -323,7 +339,8 @@ def _run_pooled(tasks, pending, results, workers, policy, checkpoint,
                 else:
                     results[index] = outcome
                     LAST_SWEEP["computed"] += 1
-                    _merge_into_cache(tasks[index], outcome)
+                    if merge is not None:
+                        merge(tasks[index], outcome)
                     _record(checkpoint, fingerprints, index, outcome)
         finally:
             # terminate (not close): reaps wedged/crashed workers too.
@@ -339,44 +356,56 @@ def _run_pooled(tasks, pending, results, workers, policy, checkpoint,
                 # inert in the parent process by design).
                 LAST_SWEEP["degraded"] = True
                 _run_serial(
-                    tasks, pending, results, policy, checkpoint, fingerprints
+                    run_task, label_fn, tasks, pending, results, policy,
+                    checkpoint, fingerprints,
                 )
                 return
 
 
-def map_standard_points(
-    tasks: Sequence[PointTask],
+def map_tasks(
+    run_task,
+    tasks: Sequence,
     workers: int = 1,
     policy: Optional[RetryPolicy] = None,
     checkpoint: Optional[checkpoint_mod.SweepCheckpoint] = None,
     resume: Optional[bool] = None,
+    label_fn=None,
+    merge=None,
 ) -> list:
-    """Run sweep points resiliently, serially or across processes.
+    """Run picklable tasks resiliently, serially or across processes.
 
-    Results come back in task order either way, and each point is
-    computed by :func:`run_standard_point` either way, so serial,
-    parallel, retried, requeued, and resumed runs all produce
-    bit-identical figures.  Worker processes each hold their own session
-    cache; merged results are re-inserted into the parent's cache so
-    later figures still get their hits.
+    The generic engine behind :func:`map_standard_points` (experiment
+    sweeps) and the serve-bench sweep.  Results come back in task order
+    either way, and each task runs through the same ``run_task``
+    function either way, so serial, parallel, retried, requeued, and
+    resumed runs all produce bit-identical output -- provided
+    ``run_task`` is a pure function of its task (derive every RNG stream
+    from the task itself).
+
+    ``run_task`` must be a module-level function (pool workers receive
+    it by pickle).  ``label_fn`` names a task for logs and fault plans;
+    ``merge(task, outcome)`` runs in the parent for every pooled result,
+    letting callers re-insert worker results into parent-process caches.
 
     Resilience (see :mod:`repro.resilience`):
 
-    * failing points retry with exponential backoff + deterministic
+    * failing tasks retry with exponential backoff + deterministic
       jitter (``policy``, default :meth:`RetryPolicy.from_env`);
-    * pooled points carry a timeout; a crashed or wedged worker shows up
-      as a lost point, which is requeued into a fresh pool, and repeated
+    * pooled tasks carry a timeout; a crashed or wedged worker shows up
+      as a lost task, which is requeued into a fresh pool, and repeated
       pool deaths degrade the sweep to serial execution;
     * with a checkpoint active (explicit argument, the runner's
       ``--checkpoint-dir``, or ``REPRO_CHECKPOINT_DIR``), completed
-      points append to a JSONL file keyed by the task list's config
-      hash, and a resumed run recomputes only the missing points.
+      tasks append to a JSONL file keyed by the task list's config
+      hash, and a resumed run recomputes only the missing tasks.
 
     ``resume`` overrides the checkpoint's resume mode only when a
     checkpoint is constructed here (it is ignored for an explicitly
     passed instance, which already chose its mode).
     """
     tasks = list(tasks)
+    if label_fn is None:
+        label_fn = repr
     if workers is not None:
         validate_workers(workers)
     if policy is None:
@@ -405,7 +434,8 @@ def map_standard_points(
         if stored is not None:
             results[index] = stored
             stats["resumed"] += 1
-            _merge_into_cache(task, stored)
+            if merge is not None:
+                merge(task, stored)
         else:
             pending.append(index)
 
@@ -420,12 +450,13 @@ def map_standard_points(
     ):
         if workers is None or workers <= 1 or len(pending) <= 1:
             _run_serial(
-                tasks, pending, results, policy, checkpoint, fingerprints
+                run_task, label_fn, tasks, pending, results, policy,
+                checkpoint, fingerprints,
             )
         else:
             _run_pooled(
-                tasks, pending, results, workers, policy, checkpoint,
-                fingerprints,
+                run_task, label_fn, merge, tasks, pending, results, workers,
+                policy, checkpoint, fingerprints,
             )
     if obs.enabled():
         for key in (
@@ -436,3 +467,30 @@ def map_standard_points(
         if stats["degraded"]:
             obs.add("sweep.degraded")
     return results
+
+
+def map_standard_points(
+    tasks: Sequence[PointTask],
+    workers: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[checkpoint_mod.SweepCheckpoint] = None,
+    resume: Optional[bool] = None,
+) -> list:
+    """Run standard sweep points resiliently; see :func:`map_tasks`.
+
+    Each point is computed by :func:`run_standard_point` whichever
+    execution path runs it, so serial, parallel, retried, requeued, and
+    resumed runs all produce bit-identical figures.  Worker processes
+    each hold their own session cache; merged results are re-inserted
+    into the parent's cache so later figures still get their hits.
+    """
+    return map_tasks(
+        run_standard_point,
+        tasks,
+        workers=workers,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
+        label_fn=task_label,
+        merge=_merge_into_cache,
+    )

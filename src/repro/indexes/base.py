@@ -22,11 +22,15 @@ from typing import Optional
 import numpy as np
 
 from .. import obs
+from ..data.column import KEY_DTYPE
 from ..data.relation import Relation
 from ..errors import SimulationError
 from ..gpu.executor import LookupTrace
 from ..gpu.simt import SimtCost, divergent_cost
+from ..hardware.counters import PerfCounters
 from ..hardware.memory import SystemMemory
+from ..units import KEY_BYTES
+from . import jit
 
 
 class TraceRecorder:
@@ -175,6 +179,87 @@ class Index(abc.ABC):
             obs.add("index.lookups", float(len(keys)), index=self.name)
             obs.add("index.lookup_batches", index=self.name)
         return self._traverse(keys, recorder=None)
+
+    # ------------------------------------------------------------------
+    # Fused batch kernel.
+    # ------------------------------------------------------------------
+
+    def probe_batch(
+        self, keys: np.ndarray, out: np.ndarray, offset: int = 0
+    ) -> PerfCounters:
+        """Fused batch probe into a caller-owned output buffer.
+
+        Writes the position of each key (-1 on miss) into
+        ``out[offset : offset + len(keys)]`` -- no result allocation, no
+        concatenation -- and returns the batch's fused
+        :class:`PerfCounters` delta.  The counters are *structural*
+        (``lookups`` and a height-based access count), derived only from
+        the batch size and the index geometry, so the numpy and JIT
+        backends report exactly equal deltas by construction; replayed
+        cache/TLB counters remain the job of :meth:`trace_lookups`.
+
+        The kernel behind it is either the vectorized numpy traversal or,
+        under ``REPRO_JIT`` with numba importable, the compiled scalar
+        kernel from :mod:`repro.indexes.kernels` -- bit-identical either
+        way (see tests/indexes/test_probe_batch.py).
+        """
+        keys = np.asarray(keys, dtype=KEY_DTYPE)
+        count = len(keys)
+        if out.ndim != 1 or out.dtype != np.int64:
+            raise SimulationError(
+                f"probe_batch needs a 1-D int64 output buffer, got "
+                f"{out.ndim}-D {out.dtype}"
+            )
+        if offset < 0 or offset + count > len(out):
+            raise SimulationError(
+                f"output window [{offset}, {offset + count}) exceeds the "
+                f"buffer of {len(out)} positions"
+            )
+        if count == 0:
+            return PerfCounters()
+        view = out[offset : offset + count]
+        if obs.enabled():
+            with obs.span("index.probe_batch", index=self.name,
+                          lookups=count):
+                self._probe_kernel(keys, view)
+            obs.add("index.batch_lookups", float(count), index=self.name)
+            obs.add("index.batch_kernels", index=self.name)
+        else:
+            self._probe_kernel(keys, view)
+        return self._batch_counters(count)
+
+    def _probe_kernel(self, keys: np.ndarray, out: np.ndarray) -> None:
+        """One fused pass over ``keys``; results land in ``out``.
+
+        Dispatches to the compiled scalar kernel when the JIT backend is
+        enabled and this index advertises one, otherwise runs the
+        vectorized traversal.  ``keys`` is already ``KEY_DTYPE`` and
+        ``out`` is exactly ``len(keys)`` wide.
+        """
+        if jit.enabled():
+            runner = jit.runner_for(self)
+            if runner is not None:
+                runner(keys, out)
+                return
+        out[:] = self._traverse(keys, recorder=None)
+
+    def _batch_kernel_args(self):
+        """(kernel name, packed structure args) or None when not JIT-able.
+
+        The base implementation opts out; each concrete index overrides
+        it when its structure can be expressed as the plain arrays the
+        scalar kernels in :mod:`repro.indexes.kernels` consume.
+        """
+        return None
+
+    def _batch_counters(self, count: int) -> PerfCounters:
+        """Structural fused-counter delta for a batch of ``count`` keys."""
+        return PerfCounters(
+            lookups=float(count),
+            memory_accesses=float(count * self.height),
+            # int64 positions are key-sized (8 B each).
+            result_bytes=float(count * KEY_BYTES),
+        )
 
     def trace_lookups(self, keys: np.ndarray) -> LookupResult:
         """Lookup with full access tracing for the machine model."""

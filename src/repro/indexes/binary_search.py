@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from .. import obs
-from ..data.column import KEY_DTYPE
+from ..data.column import KEY_DTYPE, MaterializedColumn
 from ..data.relation import Relation
 from ..hardware.memory import SystemMemory
 from ..perf.analytic import midtree_sweep_pages
@@ -105,6 +105,12 @@ class BinarySearchIndex(Index):
             found = in_range & (found_keys == keys)
         positions = np.where(found, lo, np.int64(-1))
         return positions
+
+    def _batch_kernel_args(self):
+        """Scalar-kernel packing: the raw sorted key array is the index."""
+        if not isinstance(self.column, MaterializedColumn):
+            return None
+        return ("binary_search_batch", (self.column.keys,))
 
     # ------------------------------------------------------------------
     # Analytic locality.

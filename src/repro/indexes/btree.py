@@ -99,13 +99,13 @@ class BPlusTreeIndex(Index):
         self.level_sizes = sizes
         #: leaves covered by one node of each level.
         coverage = [1] * len(sizes)
-        for level in range(len(sizes) - 2, -1, -1):
+        for level in range(len(sizes) - 2, -1, -1):  # repro: noqa[PERF001] -- build-time geometry, O(height) iterations
             coverage[level] = coverage[level + 1] * self.fanout
         self.level_coverage = coverage
         #: node-offset of each level in the flat node array.
         offsets = []
         total = 0
-        for size in sizes:
+        for size in sizes:  # repro: noqa[PERF001] -- build-time geometry, O(height) iterations
             offsets.append(total)
             total += size
         self.level_offsets = offsets
@@ -253,13 +253,28 @@ class BPlusTreeIndex(Index):
                 index=self.name,
             )
         nodes = np.zeros(len(keys), dtype=np.int64)
-        for level in range(len(self.level_sizes) - 1):
+        for level in range(len(self.level_sizes) - 1):  # repro: noqa[PERF001] -- O(height) per-level descent over whole key arrays
             child = self._search_internal(level, nodes, keys, recorder)
             nodes = nodes * self.fanout + child
             # Dense packing can address children past the level's end for
             # the right-most path; clamp to the last node of the next level.
             nodes = np.minimum(nodes, self.level_sizes[level + 1] - 1)
         return self._search_leaf(nodes, keys, recorder)
+
+    def _batch_kernel_args(self):
+        """Scalar-kernel packing: geometry as plain int64 arrays."""
+        if not isinstance(self.column, MaterializedColumn):
+            return None
+        return (
+            "btree_batch",
+            (
+                self.column.keys,
+                np.asarray(self.level_sizes, dtype=np.int64),
+                np.asarray(self.level_coverage, dtype=np.int64),
+                self.fanout,
+                self.leaf_entries,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Updates (materialized columns only).
@@ -307,7 +322,7 @@ class BPlusTreeIndex(Index):
     ) -> float:
         total = 0.0
         cumulative = 0
-        for level, size in enumerate(self.level_sizes):
+        for level, size in enumerate(self.level_sizes):  # repro: noqa[PERF001] -- O(height) analytic locality sum, not per-key
             level_bytes = size * self.node_bytes
             if cumulative + level_bytes <= l2_bytes:
                 cumulative += level_bytes

@@ -115,7 +115,7 @@ class FastTreeIndex(Index):
         count = len(keys)
         slots = np.ones(count, dtype=np.int64)
         base = self._allocation.base if recorder is not None else 0
-        for __ in range(self.tree_height):
+        for __ in range(self.tree_height):  # repro: noqa[PERF001] -- O(height) per-level descent over whole key arrays
             if recorder is not None:
                 recorder.record(base + slots * KEY_BYTES)
             slot_keys = self._keys_of_slots(slots)
@@ -162,7 +162,7 @@ class FastTreeIndex(Index):
         """
         total = 0.0
         cumulative = 0
-        for depth in range(self.tree_height):
+        for depth in range(self.tree_height):  # repro: noqa[PERF001] -- O(height) analytic locality sum, not per-key
             level_bytes = (1 << depth) * KEY_BYTES
             if cumulative + level_bytes <= l2_bytes:
                 cumulative += level_bytes

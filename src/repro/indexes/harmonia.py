@@ -88,12 +88,12 @@ class HarmoniaIndex(Index):
         self.level_sizes = sizes
         #: column positions covered by one node of each level.
         coverage = [self.node_keys] * len(sizes)
-        for level in range(len(sizes) - 2, -1, -1):
+        for level in range(len(sizes) - 2, -1, -1):  # repro: noqa[PERF001] -- build-time geometry, O(height) iterations
             coverage[level] = coverage[level + 1] * fanout
         self.level_coverage = coverage
         offsets = []
         total = 0
-        for size in sizes:
+        for size in sizes:  # repro: noqa[PERF001] -- build-time geometry, O(height) iterations
             offsets.append(total)
             total += size
         #: node-offset of each level in the breadth-first key region.
@@ -211,7 +211,7 @@ class HarmoniaIndex(Index):
         lines_per_node = max(
             1, (self.node_keys * KEY_BYTES + 127) // 128
         )
-        for level in range(len(self.level_sizes)):
+        for level in range(len(self.level_sizes)):  # repro: noqa[PERF001] -- O(height) per-level descent over whole key arrays
             if recorder is not None:
                 node_base = (
                     self._key_region.base
@@ -221,7 +221,7 @@ class HarmoniaIndex(Index):
                 )
                 # Cooperative search reads the whole node: one access per
                 # cacheline it spans.
-                for line in range(lines_per_node):
+                for line in range(lines_per_node):  # repro: noqa[PERF001] -- O(node cachelines) trace recording, traced path only
                     recorder.record(node_base + line * 128)
                 # Child location via the prefix-sum array (tiny, hot).
                 child_base = self._child_array.base + (
@@ -243,6 +243,22 @@ class HarmoniaIndex(Index):
                 found = in_range & (self.column.key_at(safe) == keys)
                 return np.where(found, positions, np.int64(-1))
         raise SimulationError("traversal fell off the tree")  # pragma: no cover
+
+    def _batch_kernel_args(self):
+        """Scalar-kernel packing: geometry as plain int64 arrays."""
+        from ..data.column import MaterializedColumn
+
+        if not isinstance(self.column, MaterializedColumn):
+            return None
+        return (
+            "harmonia_batch",
+            (
+                self.column.keys,
+                np.asarray(self.level_sizes, dtype=np.int64),
+                np.asarray(self.level_coverage, dtype=np.int64),
+                self.node_keys,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # SIMT: cooperative sub-warp execution.
@@ -304,7 +320,7 @@ class HarmoniaIndex(Index):
     ) -> float:
         total = 0.0
         cumulative = 0
-        for size in self.level_sizes:
+        for size in self.level_sizes:  # repro: noqa[PERF001] -- O(height) analytic locality sum, not per-key
             level_bytes = size * self.node_keys * KEY_BYTES
             if cumulative + level_bytes <= l2_bytes:
                 cumulative += level_bytes

@@ -1,0 +1,102 @@
+"""Opt-in numba backend for the fused batch kernels (``REPRO_JIT``).
+
+Dispatch contract, layered so every configuration degrades gracefully:
+
+1. ``REPRO_JIT`` unset/falsy -> :func:`runner_for` is never consulted and
+   ``probe_batch`` runs the vectorized numpy traversal (byte-identical to
+   the pre-JIT code path);
+2. flag set but numba not importable -> :func:`enabled` stays False after
+   one cached import attempt; same numpy fallback, no warning spam;
+3. flag set, numba present, but the index is not kernel-compatible (a
+   virtual column, or an implicit spline) -> :func:`runner_for` returns
+   None and that one index falls back while others compile;
+4. otherwise the kernel source from :mod:`repro.indexes.kernels` is
+   ``njit``-compiled once per process and reused for every batch.
+
+Compiled and fallback paths are bit-identical -- positions, counters,
+and exported JSON -- which tests/indexes/test_probe_batch.py proves by
+running the same kernel source uncompiled against the numpy traversal.
+
+Indexes advertise their kernel through ``_batch_kernel_args()`` (see
+:class:`repro.indexes.base.Index`): the kernel's name here plus the
+packed structure arguments, or None when the index cannot be expressed
+over plain arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..config import jit_requested
+from . import kernels
+
+#: Compiled kernels by function name, one entry per process.
+_compiled: Dict[str, Callable] = {}
+
+#: Tri-state import probe: None = not yet attempted.
+_numba_available: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """Whether numba imports; probed once and cached."""
+    global _numba_available
+    if _numba_available is None:
+        try:
+            import numba  # noqa: F401
+
+            _numba_available = True
+        except Exception:
+            # ImportError is the normal case; anything else (a broken
+            # install) must also degrade to the numpy path.
+            _numba_available = False
+    return _numba_available
+
+
+def enabled() -> bool:
+    """Whether compiled kernels are requested *and* compilable."""
+    return jit_requested() and numba_available()
+
+
+def backend_name() -> str:
+    """Human-readable backend label for bench payloads."""
+    return "numba" if enabled() else "numpy"
+
+
+def refresh() -> None:
+    """Drop cached probe state (tests toggle REPRO_JIT / fake numba)."""
+    global _numba_available
+    _numba_available = None
+    _compiled.clear()
+
+
+def compiled_kernel(name: str) -> Callable:
+    """The ``njit``-compiled version of ``kernels.<name>`` (cached)."""
+    func = _compiled.get(name)
+    if func is None:
+        import numba
+
+        func = numba.njit(nogil=True)(getattr(kernels, name))
+        _compiled[name] = func
+    return func
+
+
+def runner_for(index, compile: bool = True) -> Optional[Callable]:
+    """A ``runner(probes, out)`` closure for ``index``, or None.
+
+    ``compile=False`` binds the plain-Python kernel source instead of the
+    compiled version -- the hook the differential tests use to prove the
+    kernel source itself (not just numba's output) matches the numpy
+    traversal on machines without numba.
+    """
+    spec = index._batch_kernel_args()
+    if spec is None:
+        return None
+    name, args = spec
+    func = compiled_kernel(name) if compile else getattr(kernels, name)
+
+    def runner(probes: np.ndarray, out: np.ndarray) -> None:
+        func(probes, out, *args)
+
+    return runner

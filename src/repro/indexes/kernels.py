@@ -1,0 +1,225 @@
+"""Scalar batch-probe kernels: one source for numba and the interpreter.
+
+Each function here is the per-key, loop-form twin of one index's
+vectorized ``_traverse`` -- same comparisons, same clamps, same sentinel
+handling, same float expression order -- so the two implementations are
+bit-identical on every input (the Hypothesis suite in
+tests/indexes/test_probe_batch.py drives all key regimes through both).
+
+They exist in loop form because that is what ``numba.njit`` compiles
+into a single fused machine-code pass (see :mod:`repro.indexes.jit`):
+traversal, payload gather, and the match check run per key with no
+intermediate arrays, which is the GPU-kernel execution shape the paper's
+probe loop has.  **The interpreter never runs these on a hot path**: with
+``REPRO_JIT`` off or numba absent, ``probe_batch`` uses the vectorized
+numpy traversal instead.  Plain-Python execution is reserved for the
+differential tests, where running the exact kernel source uncompiled is
+what makes "JIT vs numpy" a two-sided proof even on machines without
+numba.
+
+All kernels share one shape: ``kernel(probes, out, col, *structure)``
+where ``probes`` is uint64, ``out`` is a preallocated int64 view of the
+same length, ``col`` is the materialized sorted key column, and
+``structure`` holds the index geometry as plain arrays/scalars (numba
+cannot consume the index objects themselves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: "No separator / padding slot" sentinel, as in btree.py / harmonia.py.
+_MAX_KEY = np.uint64(np.iinfo(np.uint64).max)
+
+
+def binary_search_batch(probes, out, col):
+    """Lower-bound bisection of the full column, per probe key."""
+    n = col.shape[0]
+    for i in range(probes.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        key = probes[i]
+        lo = 0
+        hi = n
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if col[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < n and col[lo] == key:
+            out[i] = lo
+        else:
+            out[i] = -1
+
+
+def btree_batch(probes, out, col, level_sizes, level_coverage, fanout,
+                leaf_entries):
+    """Implicit B+tree descent: upper-bound per internal level, then the
+    leaf lower bound, mirroring ``BPlusTreeIndex._traverse`` exactly."""
+    n = col.shape[0]
+    height = level_sizes.shape[0]
+    num_separators = fanout - 1
+    for i in range(probes.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        key = probes[i]
+        node = 0
+        for level in range(height - 1):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+            child_coverage = level_coverage[level + 1]
+            slot_lo = 0
+            slot_hi = num_separators
+            while slot_lo < slot_hi:
+                mid = (slot_lo + slot_hi) >> 1
+                first = (
+                    (node * fanout + mid + 1) * child_coverage * leaf_entries
+                )
+                if first < n:
+                    go_right = col[first] <= key
+                else:
+                    # Missing separators read as MAX (padding past the
+                    # data); MAX <= key only for the maximal probe key.
+                    go_right = key == _MAX_KEY
+                if go_right:
+                    slot_lo = mid + 1
+                else:
+                    slot_hi = mid
+            node = node * fanout + slot_lo
+            limit = level_sizes[level + 1] - 1
+            if node > limit:
+                node = limit
+        slot_lo = 0
+        slot_hi = leaf_entries
+        while slot_lo < slot_hi:
+            mid = (slot_lo + slot_hi) >> 1
+            position = node * leaf_entries + mid
+            # Padding slots hold MAX, and MAX < key is never true.
+            if position < n and col[position] < key:
+                slot_lo = mid + 1
+            else:
+                slot_hi = mid
+        position = node * leaf_entries + slot_lo
+        if slot_lo < leaf_entries and position < n and col[position] == key:
+            out[i] = position
+        else:
+            out[i] = -1
+
+
+def harmonia_batch(probes, out, col, level_sizes, level_coverage,
+                   node_keys):
+    """Harmonia descent: count node keys <= probe per level, mirroring
+    ``HarmoniaIndex._node_child_counts`` / ``_traverse`` exactly."""
+    n = col.shape[0]
+    height = level_sizes.shape[0]
+    for i in range(probes.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        key = probes[i]
+        node = 0
+        for level in range(height):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+            if level + 1 < height:
+                child_coverage = level_coverage[level + 1]
+            else:
+                child_coverage = 1
+            node_first = node * node_keys
+            lo = 0
+            hi = node_keys
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                position = (node_first + mid) * child_coverage
+                if position < n:
+                    go_right = col[position] <= key
+                else:
+                    go_right = key == _MAX_KEY
+                if go_right:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            child = lo - 1
+            if child < 0:
+                child = 0
+            if level + 1 < height:
+                node = node * node_keys + child
+                limit = level_sizes[level + 1] - 1
+                if node > limit:
+                    node = limit
+            else:
+                position = node * node_keys + child
+                if position < n and col[position] == key:
+                    out[i] = position
+                else:
+                    out[i] = -1
+
+
+def radix_spline_batch(probes, out, col, radix_table, spline_keys,
+                       spline_positions, min_key, span_key, shift,
+                       error_bound):
+    """RadixSpline lookup: radix slot, spline search, interpolation,
+    bounded data search -- float expression order matches
+    ``RadixSplineIndex._traverse`` so predictions are bit-identical."""
+    n = col.shape[0]
+    num_points = spline_keys.shape[0]
+    last_slot = radix_table.shape[0] - 1
+    top = float(n - 1)
+    for i in range(probes.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        key = probes[i]
+        # Clamp-then-subtract in uint64, as in _traverse.
+        if key > min_key:
+            clipped = key - min_key
+        else:
+            clipped = np.uint64(0)
+        if clipped > span_key:
+            clipped = span_key
+        prefix = np.int64(clipped >> shift)
+        seg_lo = radix_table[prefix]
+        nxt = prefix + 1
+        if nxt > last_slot:
+            nxt = last_slot
+        seg_hi = radix_table[nxt] + 1
+        if seg_hi < seg_lo + 1:
+            seg_hi = seg_lo + 1
+        if seg_hi > num_points:
+            seg_hi = num_points
+        lo = seg_lo
+        hi = seg_hi
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if spline_keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        upper = lo
+        if upper < 1:
+            upper = 1
+        if upper > num_points - 1:
+            upper = num_points - 1
+        lower = upper - 1
+        key_low = spline_keys[lower]
+        key_high = spline_keys[upper]
+        pos_low = float(spline_positions[lower])
+        pos_high = float(spline_positions[upper])
+        span = float(key_high - key_low)
+        if span < 1.0:
+            span = 1.0
+        if key > key_low:
+            delta = float(key - key_low)
+        else:
+            delta = 0.0
+        predicted = pos_low + delta / span * (pos_high - pos_low)
+        if predicted < 0.0:
+            predicted = 0.0
+        if predicted > top:
+            predicted = top
+        # round() is round-half-to-even in both CPython and numba --
+        # the same rounding np.rint applies on the vectorized path.
+        estimate = round(predicted)
+        search_lo = estimate - error_bound
+        if search_lo < 0:
+            search_lo = 0
+        search_hi = estimate + error_bound + 1
+        if search_hi > n:
+            search_hi = n
+        while search_lo < search_hi:
+            mid = (search_lo + search_hi) >> 1
+            if col[mid] < key:
+                search_lo = mid + 1
+            else:
+                search_hi = mid
+        if search_lo < n and col[search_lo] == key:
+            out[i] = search_lo
+        else:
+            out[i] = -1

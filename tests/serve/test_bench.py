@@ -82,3 +82,28 @@ class TestServeBench:
         assert [row["shards"] for row in payload["sweeps"]] == [2]
         captured = capsys.readouterr()
         assert "lookups/s" in captured.out
+
+
+class TestServeBenchWorkers:
+    """The sweep's pooled path is bit-identical to the serial one."""
+
+    def test_serial_and_pooled_payloads_bit_identical(self):
+        serial = run_serve_bench(workers=1, **BENCH_KWARGS)
+        pooled = run_serve_bench(workers=2, **BENCH_KWARGS)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+    def test_payload_carries_no_worker_count(self):
+        # Worker count is an execution detail; the payload stays
+        # comparable (and CI-diffable) across machines.
+        payload = run_serve_bench(workers=2, **BENCH_KWARGS)
+        assert "workers" not in payload
+
+    def test_auto_workers_accepted(self):
+        payload = run_serve_bench(workers=0, **BENCH_KWARGS)
+        assert len(payload["sweeps"]) == 2
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_serve_bench(workers=-2, **BENCH_KWARGS)
