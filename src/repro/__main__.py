@@ -10,8 +10,14 @@ Commands:
   benchmark the fused probe path: kernel micro-bench, the BENCH_1 sweep
   set through the worker pool, and the serve-bench sweep (BENCH_2.json);
 * ``serve-bench [--shards N...] [--window-kib K...] [--zipf T...]
-  [--index NAME] [--seed S] [--json FILE]`` -- sweep the sharded
-  serving layer (simulated clock; output is bit-identical per seed);
+  [--index NAME] [--replicas K] [--replica-indexes NAME...]
+  [--chaos-schedule FILE] [--seed S] [--json FILE]`` -- sweep the
+  sharded serving layer (simulated clock; output is bit-identical per
+  seed), optionally with K replicas per shard and a scripted fault
+  schedule;
+* ``chaos --schedule FILE [--event-log FILE] [options]`` -- replay a
+  declarative fault schedule against the replicated serving layer and
+  gate on result invariance versus the fault-free run;
 * ``plan --r-gib N [options]`` -- run the access-path planner for one
   workload and print the EXPLAIN output;
 * ``obs report [manifests...]`` -- render or diff ``metrics.json``
@@ -133,8 +139,33 @@ def cmd_serve_bench(args) -> int:
         seed=args.seed,
         json_path=args.json,
         workers=args.workers,
+        replicas=args.replicas,
+        replica_indexes=(
+            tuple(args.replica_indexes) if args.replica_indexes else None
+        ),
+        chaos_schedule=args.chaos_schedule,
     )
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from .resilience.chaos import main as chaos_main
+
+    return chaos_main(
+        schedule_path=args.schedule,
+        shards=args.shards,
+        replicas=args.replicas,
+        index=args.index,
+        replica_indexes=(
+            tuple(args.replica_indexes) if args.replica_indexes else None
+        ),
+        r_tuples=args.r_tuples,
+        requests=args.requests,
+        request_tuples=args.request_tuples,
+        window_kib=args.window_kib,
+        seed=args.seed,
+        event_log_path=args.event_log,
+    )
 
 
 def cmd_plan(args) -> int:
@@ -249,6 +280,50 @@ def main(argv=None) -> int:
         help="sweep-point processes (0 = one per CPU core; payload is "
         "bit-identical at any worker count)",
     )
+    serve_bench.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per range shard (1 = the unreplicated PR-5 path)",
+    )
+    serve_bench.add_argument(
+        "--replica-indexes", nargs="+", default=None, metavar="NAME",
+        choices=["binary-search", "btree", "harmonia", "radix-spline"],
+        help="index per replica level (len must equal --replicas); "
+        "defaults to --index on every replica",
+    )
+    serve_bench.add_argument(
+        "--chaos-schedule", default=None, metavar="FILE",
+        help="replay this chaos schedule (repro-chaos/1 JSON) inside "
+        "every sweep point",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="replay a scripted fault schedule against replicated serving",
+    )
+    chaos.add_argument(
+        "--schedule", required=True, metavar="FILE",
+        help="chaos schedule JSON (schema repro-chaos/1)",
+    )
+    chaos.add_argument("--shards", type=int, default=2)
+    chaos.add_argument("--replicas", type=int, default=2)
+    chaos.add_argument(
+        "--index", default="binary-search",
+        choices=["binary-search", "btree", "harmonia", "radix-spline"],
+    )
+    chaos.add_argument(
+        "--replica-indexes", nargs="+", default=None, metavar="NAME",
+        choices=["binary-search", "btree", "harmonia", "radix-spline"],
+        help="index per replica level (len must equal --replicas)",
+    )
+    chaos.add_argument("--r-tuples", type=int, default=2**12)
+    chaos.add_argument("--requests", type=int, default=16)
+    chaos.add_argument("--request-tuples", type=int, default=256)
+    chaos.add_argument("--window-kib", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument(
+        "--event-log", default=None, metavar="FILE",
+        help="write the chaos event-log artifact (timeline + injections)",
+    )
 
     obs_parser = subparsers.add_parser(
         "obs", help="observability manifests: render and diff metrics.json"
@@ -294,6 +369,8 @@ def main(argv=None) -> int:
             return cmd_bench2(args)
         if args.command == "serve-bench":
             return cmd_serve_bench(args)
+        if args.command == "chaos":
+            return cmd_chaos(args)
         if args.command == "lint":
             try:
                 return cmd_lint(args)

@@ -11,6 +11,9 @@ them:
   backoff with deterministic jitter, per-point timeouts;
 * :mod:`~repro.resilience.checkpoint` -- append-only JSONL sweep
   checkpoints keyed by config hash (``--resume``);
+* :mod:`~repro.resilience.chaos` -- declarative, replayable fault
+  schedules against the replicated serving layer, with the
+  result-invariance checker behind ``repro chaos``;
 * :mod:`~repro.resilience.report` -- :class:`ExperimentFailure` /
   :class:`RunReport`, the runner's structured failure summary.
 
@@ -19,17 +22,22 @@ figures.  Retried, requeued, degraded-to-serial, and resumed runs all
 produce bit-identical output to a clean serial run.
 """
 
-from . import checkpoint, faults, report, retry
+from . import chaos, checkpoint, faults, report, retry
+from .chaos import ChaosController, ChaosEvent, ChaosSchedule
 from .checkpoint import SweepCheckpoint
 from .faults import FaultPlan
 from .report import ExperimentFailure, RunReport
 from .retry import RetryPolicy, with_retry
 
 __all__ = [
+    "chaos",
     "checkpoint",
     "faults",
     "report",
     "retry",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosSchedule",
     "FaultPlan",
     "SweepCheckpoint",
     "ExperimentFailure",

@@ -1,0 +1,505 @@
+"""Scripted chaos: declarative fault schedules for the serving layer.
+
+A :class:`ChaosSchedule` is a JSON document of timed fault events
+against the replicated serving simulation -- *kill replica r of shard s
+at simulated time t*, *wedge shard s for d seconds*, *corrupt probe
+batch b* -- replayable bit-identically because every event keys off
+simulated quantities (the logical clock, the executor's window
+sequence), never the host.
+
+The harness around it (:func:`run_serve_under_chaos`,
+:func:`check_invariance`, :func:`check_replay`) runs one serving
+workload clean and under the schedule and asserts the serving layer's
+central robustness contract:
+
+* **Invariance** -- served positions under any schedule that leaves the
+  fallback reachable are element-equal to the fault-free run (replicas
+  and the fallback all answer in global R positions, so failover can
+  reorder *work*, never *results*).
+* **Replay** -- the same seed and schedule reproduce the run
+  bit-identically, including the simulated-clock timeline of
+  failure/failover/rebuild/recovery transitions.
+
+Determinism rules a schedule must respect (see TESTING.md):
+
+* event times are simulated seconds, compared against the service's
+  logical clock at dispatch;
+* ``corrupt`` events name a window by the executor's global execution
+  sequence (0-based), which is itself deterministic;
+* the harness runs with an unbounded admission backlog, so chaos
+  stretches latency without flipping admission decisions -- the one
+  knob that could legitimately change *which* requests get served.
+
+``repro chaos`` (see :mod:`repro.__main__`) runs a schedule file
+through the harness and writes the event-log artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, InjectedFault
+from ..ioutil import atomic_write_json
+
+#: Schema tag of schedule documents (bump on incompatible change).
+SCHEMA = "repro-chaos/1"
+#: Schema tag of the event-log artifact the CLI writes.
+LOG_SCHEMA = "repro-chaos-log/1"
+
+_KINDS = ("kill", "wedge", "corrupt")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted fault.
+
+    Attributes:
+        kind: ``kill`` (replica fails every probe from ``at`` until it
+            next completes a rebuild), ``wedge`` (every replica of the
+            shard -- or one, if ``replica`` >= 0 -- fails probes during
+            ``[at, at + duration)``), or ``corrupt`` (the probe of
+            execution-sequence window ``batch`` fails once, modelling a
+            corrupted batch the retry path must reissue).
+        at: simulated time the fault arms, seconds.
+        shard: target shard (kill/wedge).
+        replica: target replica (kill; wedge optional, -1 = all).
+        duration: wedge length in simulated seconds.
+        batch: global window execution sequence targeted by corrupt.
+    """
+
+    kind: str
+    at: float = 0.0
+    shard: int = -1
+    replica: int = -1
+    duration: float = 0.0
+    batch: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"unknown chaos kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.at < 0:
+            raise ConfigurationError(
+                f"chaos event cannot arm before time zero, got {self.at}"
+            )
+        if self.kind == "kill" and (self.shard < 0 or self.replica < 0):
+            raise ConfigurationError(
+                "kill events need shard >= 0 and replica >= 0, got "
+                f"shard={self.shard} replica={self.replica}"
+            )
+        if self.kind == "wedge":
+            if self.shard < 0:
+                raise ConfigurationError(
+                    f"wedge events need shard >= 0, got {self.shard}"
+                )
+            if self.duration <= 0:
+                raise ConfigurationError(
+                    f"wedge duration must be positive, got {self.duration}"
+                )
+        if self.kind == "corrupt" and self.batch < 0:
+            raise ConfigurationError(
+                f"corrupt events need batch >= 0, got {self.batch}"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {"kind": self.kind, "at": self.at}
+        if self.shard >= 0:
+            entry["shard"] = self.shard
+        if self.replica >= 0:
+            entry["replica"] = self.replica
+        if self.kind == "wedge":
+            entry["duration"] = self.duration
+        if self.kind == "corrupt":
+            entry["batch"] = self.batch
+        return entry
+
+    @staticmethod
+    def from_dict(entry: Dict[str, Any]) -> "ChaosEvent":
+        known = {"kind", "at", "shard", "replica", "duration", "batch"}
+        extra = sorted(set(entry) - known)
+        if extra:
+            raise ConfigurationError(
+                f"unknown chaos event fields {extra} in {entry!r}"
+            )
+        if "kind" not in entry:
+            raise ConfigurationError(f"chaos event missing 'kind': {entry!r}")
+        return ChaosEvent(
+            kind=str(entry["kind"]),
+            at=float(entry.get("at", 0.0)),
+            shard=int(entry.get("shard", -1)),
+            replica=int(entry.get("replica", -1)),
+            duration=float(entry.get("duration", 0.0)),
+            batch=int(entry.get("batch", -1)),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered list of scripted fault events."""
+
+    events: Tuple[ChaosEvent, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, Any]) -> "ChaosSchedule":
+        schema = payload.get("schema")
+        if schema != SCHEMA:
+            raise ConfigurationError(
+                f"chaos schedule schema {schema!r} != expected {SCHEMA!r}"
+            )
+        events = payload.get("events")
+        if not isinstance(events, list):
+            raise ConfigurationError(
+                "chaos schedule needs an 'events' list"
+            )
+        return ChaosSchedule(
+            events=tuple(ChaosEvent.from_dict(entry) for entry in events)
+        )
+
+    @staticmethod
+    def load(path: str) -> "ChaosSchedule":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"cannot read chaos schedule {path}: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"chaos schedule {path} is not a JSON object"
+            )
+        return ChaosSchedule.from_dict(payload)
+
+    def dump(self, path: str) -> str:
+        return atomic_write_json(path=path, payload=self.as_dict())
+
+
+class ChaosController:
+    """Replays a schedule against the replicated executor's probes.
+
+    The executor consults :meth:`check_probe` before every probe
+    attempt and calls :meth:`on_restart` when a rebuilt replica
+    rejoins; all decisions are pure functions of (simulated time,
+    window sequence, restart history), so a schedule replays
+    bit-identically.
+    """
+
+    def __init__(self, schedule: ChaosSchedule):
+        self.schedule = schedule
+        #: Kill events cleared by a completed rebuild of their target.
+        self._cleared_kills: Set[int] = set()
+        #: Corrupt events that already fired (they fire exactly once).
+        self._fired_corrupts: Set[int] = set()
+        #: (time, description) log of every injection, in fire order.
+        self.injections: List[Tuple[float, str]] = []
+
+    def check_probe(
+        self, shard: int, replica: int, now: float, window_seq: int
+    ) -> None:
+        """Raise :class:`InjectedFault` if any scripted fault is due."""
+        for index, event in enumerate(self.schedule.events):
+            if event.kind == "kill":
+                if (
+                    index not in self._cleared_kills
+                    and event.shard == shard
+                    and event.replica == replica
+                    and now >= event.at
+                ):
+                    self._inject(
+                        now, f"kill[{index}] shard{shard}r{replica}"
+                    )
+            elif event.kind == "wedge":
+                if (
+                    event.shard == shard
+                    and event.replica in (-1, replica)
+                    and event.at <= now < event.at + event.duration
+                ):
+                    self._inject(
+                        now, f"wedge[{index}] shard{shard}r{replica}"
+                    )
+            else:  # corrupt
+                if (
+                    index not in self._fired_corrupts
+                    and event.batch == window_seq
+                ):
+                    self._fired_corrupts.add(index)
+                    self._inject(
+                        now,
+                        f"corrupt[{index}] window{window_seq} "
+                        f"shard{shard}r{replica}",
+                    )
+
+    def _inject(self, now: float, description: str) -> None:
+        self.injections.append((now, description))
+        raise InjectedFault(f"chaos {description} at t={now:.9f}")
+
+    def on_restart(self, shard: int, replica: int, now: float) -> None:
+        """A rebuilt replica rejoined: clear its armed kill events.
+
+        A kill models a crashed replica; once recovery rebuilt it, the
+        same event must not re-kill it forever (schedules wanting a
+        re-kill script a second event at a later time).
+        """
+        for index, event in enumerate(self.schedule.events):
+            if (
+                event.kind == "kill"
+                and event.shard == shard
+                and event.replica == replica
+                and event.at <= now
+            ):
+                self._cleared_kills.add(index)
+
+
+# ----------------------------------------------------------------------
+# The harness: one serving workload, with or without a schedule.
+# ----------------------------------------------------------------------
+
+#: Admission backlog used by the harness: effectively unbounded, so a
+#: schedule can stretch latency but never flip an admission decision
+#: (the determinism rule that makes result invariance well-defined).
+UNBOUNDED_BACKLOG = 2**62
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything one harness run produced."""
+
+    positions: np.ndarray
+    makespan_seconds: float
+    timeline: List[Dict[str, Any]]
+    fallback_windows: int
+    failovers: int
+    recoveries: int
+    deferrals: int
+    injections: List[Tuple[float, str]] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "makespan_seconds": round(self.makespan_seconds, 9),
+            "fallback_windows": self.fallback_windows,
+            "failovers": self.failovers,
+            "recoveries": self.recoveries,
+            "deferred_windows": self.deferrals,
+            "health_events": len(self.timeline),
+            "injections": len(self.injections),
+        }
+
+
+def run_serve_under_chaos(
+    schedule: Optional[ChaosSchedule] = None,
+    shards: int = 2,
+    replicas: int = 2,
+    index: str = "binary-search",
+    replica_indexes: Optional[Sequence[str]] = None,
+    r_tuples: int = 2**12,
+    requests: int = 16,
+    request_tuples: int = 256,
+    window_kib: int = 4,
+    zipf_theta: float = 0.0,
+    seed: int = 42,
+) -> ChaosRunResult:
+    """Serve one deterministic workload, optionally under a schedule.
+
+    ``schedule=None`` is the fault-free reference run.  The workload,
+    plan, and arrival spacing are pure functions of the arguments, so
+    two calls with equal arguments are bit-identical -- the property
+    :func:`check_replay` asserts.
+    """
+    # Imported here, not at module top: bench imports this module
+    # lazily for its --chaos-schedule flag, and the resilience package
+    # must stay importable without the serve layer's numpy machinery.
+    from ..serve.bench import INDEX_BY_NAME, _arrival_interval, _serve_workload
+    from ..serve.executor import ReplicatedShardExecutor
+    from ..serve.service import ProbeRequest, ShardedIndexService
+    from ..serve.shard import fallback_shard
+    from ..serve.replica import replicate
+    from ..units import KEY_BYTES, KIB
+
+    names = list(replica_indexes) if replica_indexes else [index] * replicas
+    unknown = sorted(set(names) - set(INDEX_BY_NAME))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown replica index names {unknown}; choose from "
+            f"{', '.join(sorted(INDEX_BY_NAME))}"
+        )
+    if len(names) != replicas:
+        raise ConfigurationError(
+            f"--replica-indexes names {len(names)} replicas but "
+            f"--replicas is {replicas}"
+        )
+    relation, probes = _serve_workload(
+        r_tuples, requests * request_tuples, zipf_theta, seed
+    )
+    plan = replicate(
+        relation, shards, [INDEX_BY_NAME[name] for name in names]
+    )
+    controller = (
+        ChaosController(schedule) if schedule is not None else None
+    )
+    executor = ReplicatedShardExecutor(
+        plan,
+        fallback_shard(relation, INDEX_BY_NAME[names[0]]),
+        chaos=controller,
+    )
+    service = ShardedIndexService(
+        plan,
+        executor,
+        window_bytes=window_kib * KIB,
+        max_backlog_tuples=UNBOUNDED_BACKLOG,
+    )
+    interval = _arrival_interval(
+        plan,
+        max(1, window_kib * KIB // KEY_BYTES),
+        request_tuples,
+        executor.spec,
+    )
+    request_list = [
+        ProbeRequest(
+            request_id=i,
+            keys=probes.keys[i * request_tuples : (i + 1) * request_tuples],
+            arrival=i * interval,
+        )
+        for i in range(requests)
+    ]
+    report = service.run(request_list)
+    parts = [
+        outcome.positions
+        for outcome in report.outcomes
+        if outcome.positions is not None
+    ]
+    positions = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    )
+    return ChaosRunResult(
+        positions=positions,
+        makespan_seconds=report.makespan_seconds,
+        timeline=executor.health.transitions(),
+        fallback_windows=executor.fallback_windows,
+        failovers=executor.failovers,
+        recoveries=executor.recoveries,
+        deferrals=executor.deferrals,
+        injections=list(controller.injections) if controller else [],
+    )
+
+
+def check_invariance(
+    schedule: ChaosSchedule, **harness_kwargs: Any
+) -> Tuple[bool, ChaosRunResult, ChaosRunResult]:
+    """Clean run vs. scheduled run: served positions must be equal.
+
+    Returns (ok, clean_result, chaos_result); callers wanting the
+    counterexample get both runs back rather than a bare boolean.
+    """
+    clean = run_serve_under_chaos(schedule=None, **harness_kwargs)
+    chaotic = run_serve_under_chaos(schedule=schedule, **harness_kwargs)
+    ok = bool(np.array_equal(clean.positions, chaotic.positions))
+    return ok, clean, chaotic
+
+
+def check_replay(
+    schedule: Optional[ChaosSchedule], **harness_kwargs: Any
+) -> Tuple[bool, ChaosRunResult, ChaosRunResult]:
+    """Same schedule twice: results AND timeline must be bit-identical."""
+    first = run_serve_under_chaos(schedule=schedule, **harness_kwargs)
+    second = run_serve_under_chaos(schedule=schedule, **harness_kwargs)
+    ok = (
+        bool(np.array_equal(first.positions, second.positions))
+        and first.makespan_seconds == second.makespan_seconds
+        and first.timeline == second.timeline
+        and first.injections == second.injections
+    )
+    return ok, first, second
+
+
+def build_event_log(
+    schedule: ChaosSchedule,
+    result: ChaosRunResult,
+    invariant: bool,
+    source: str = "",
+) -> Dict[str, Any]:
+    """The JSON artifact one ``repro chaos`` run leaves behind."""
+    return {
+        "schema": LOG_SCHEMA,
+        "source": source,
+        "schedule": schedule.as_dict(),
+        "invariant": invariant,
+        "summary": result.summary(),
+        "injections": [
+            {"t": round(time, 9), "fault": description}
+            for time, description in result.injections
+        ],
+        "timeline": result.timeline,
+    }
+
+
+def main(
+    schedule_path: str,
+    shards: int = 2,
+    replicas: int = 2,
+    index: str = "binary-search",
+    replica_indexes: Optional[Sequence[str]] = None,
+    r_tuples: int = 2**12,
+    requests: int = 16,
+    request_tuples: int = 256,
+    window_kib: int = 4,
+    seed: int = 42,
+    event_log_path: Optional[str] = None,
+) -> int:
+    """``repro chaos``: replay a schedule, gate on result invariance.
+
+    Exit status 0 when the scheduled run served positions element-equal
+    to the fault-free run *and* the run replays bit-identically; 1 on
+    either violation (the event log, if requested, is written in every
+    case so CI can upload the counterexample).
+    """
+    schedule = ChaosSchedule.load(schedule_path)
+    kwargs: Dict[str, Any] = dict(
+        shards=shards,
+        replicas=replicas,
+        index=index,
+        replica_indexes=replica_indexes,
+        r_tuples=r_tuples,
+        requests=requests,
+        request_tuples=request_tuples,
+        window_kib=window_kib,
+        seed=seed,
+    )
+    invariant, clean, chaotic = check_invariance(schedule, **kwargs)
+    replayed, _, _ = check_replay(schedule, **kwargs)
+    if event_log_path:
+        atomic_write_json(
+            path=event_log_path,
+            payload=build_event_log(
+                schedule, chaotic, invariant, source=schedule_path
+            ),
+        )
+    print(
+        f"chaos {schedule_path}: events={len(schedule.events)} "
+        f"injections={len(chaotic.injections)} "
+        f"failovers={chaotic.failovers} recoveries={chaotic.recoveries} "
+        f"fallback_windows={chaotic.fallback_windows} "
+        f"deferred={chaotic.deferrals}"
+    )
+    print(
+        f"  clean makespan {clean.makespan_seconds:.9f}s, "
+        f"chaotic {chaotic.makespan_seconds:.9f}s"
+    )
+    if not invariant:
+        print("  FAIL: served positions diverge from the fault-free run")
+    if not replayed:
+        print("  FAIL: run is not bit-identical under replay")
+    if invariant and replayed:
+        print("  ok: results invariant, replay bit-identical")
+        return 0
+    return 1

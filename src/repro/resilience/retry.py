@@ -110,7 +110,14 @@ class RetryPolicy:
         """
         if attempt < 1:
             return 0.0
-        delay = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        # Cap the exponent before exponentiating: 2 ** (attempt - 1) at
+        # large attempt counts builds a multi-thousand-bit integer just
+        # to be discarded by the min().  1023 is the largest finite
+        # float exponent; any positive base_delay times 2.0**1023
+        # clears max_delay (an inf product still min()s correctly), so
+        # the capped delay is exactly the uncapped one.
+        exponent = min(attempt - 1, 1023)
+        delay = min(self.base_delay * (2.0**exponent), self.max_delay)
         if self.jitter and delay:
             # str seeds hash stably (sha512), unlike tuples under
             # PYTHONHASHSEED randomization -- jitter must reproduce

@@ -8,14 +8,32 @@ windows that reuse the engine's window operator (:mod:`.batcher`),
 bounded backlogs apply backpressure (:mod:`.admission`), and a
 discrete-event loop over a logical clock (:mod:`.clock`,
 :mod:`.service`) schedules window execution priced by the perf replay
-model (:mod:`.executor`).  ``repro serve-bench`` (:mod:`.bench`) sweeps
-the configuration space and emits a bit-identical BENCH JSON.
+model (:mod:`.executor`).  Each range can carry K replicas --
+optionally divergent index types (:mod:`.replica`) -- behind a
+cost-based router with failure detection (:mod:`.health`) and priced
+background rebuilds (:mod:`.recovery`).  ``repro serve-bench``
+(:mod:`.bench`) sweeps the configuration space and emits a
+bit-identical BENCH JSON.
 """
 
 from .admission import AdmissionController
 from .batcher import ShardBatcher, Window
 from .clock import SimulatedClock
-from .executor import ShardExecutor, WindowResult
+from .executor import (
+    ReplicatedShardExecutor,
+    ShardExecutor,
+    WindowDeferred,
+    WindowResult,
+)
+from .health import (
+    DEAD,
+    HEALTHY,
+    PROBATION,
+    HealthEvent,
+    HealthTracker,
+)
+from .recovery import RebuildCost, price_rebuild
+from .replica import Replica, ReplicaSet, ReplicatedPlan, replicate
 from .service import (
     ProbeRequest,
     RequestOutcome,
@@ -27,7 +45,17 @@ from .shard import Shard, ShardPlan, fallback_shard, range_shard
 
 __all__ = [
     "AdmissionController",
+    "DEAD",
+    "HEALTHY",
+    "HealthEvent",
+    "HealthTracker",
+    "PROBATION",
     "ProbeRequest",
+    "RebuildCost",
+    "Replica",
+    "ReplicaSet",
+    "ReplicatedPlan",
+    "ReplicatedShardExecutor",
     "RequestOutcome",
     "ServeReport",
     "Shard",
@@ -38,7 +66,10 @@ __all__ = [
     "ShardedIndexService",
     "SimulatedClock",
     "Window",
+    "WindowDeferred",
     "WindowResult",
     "fallback_shard",
+    "price_rebuild",
     "range_shard",
+    "replicate",
 ]

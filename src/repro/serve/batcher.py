@@ -33,12 +33,15 @@ class Window:
         keys: probe keys in arrival order.
         indices: global stream position of each key.
         full: False only for the final, flush-closed partial window.
+        deferrals: times the replicated executor parked this window to
+            wait for a rebuild (capped; see ``MAX_WINDOW_DEFERRALS``).
     """
 
     shard_id: int
     keys: np.ndarray
     indices: np.ndarray
     full: bool
+    deferrals: int = 0
 
     def __len__(self) -> int:
         return len(self.keys)

@@ -33,7 +33,12 @@ from ..indexes import (
 from ..ioutil import atomic_write_json
 from ..perf.model import CostModel
 from ..units import KEY_BYTES, KIB
-from .executor import KERNELS_PER_WINDOW, ShardExecutor
+from .executor import (
+    KERNELS_PER_WINDOW,
+    ReplicatedShardExecutor,
+    ShardExecutor,
+)
+from .replica import replicate
 from .service import ProbeRequest, ServeReport, ShardedIndexService
 from .shard import CALIBRATION_SIM, fallback_shard, range_shard
 
@@ -111,11 +116,32 @@ def _per_shard_metrics(report: ServeReport) -> Dict[str, Dict[str, object]]:
             "serve.matches": stats.matches,
             "serve.retries": stats.retries,
             "serve.degraded_windows": stats.degraded_windows,
+            "serve.failovers": stats.failovers,
+            "serve.deferred_windows": stats.deferred_windows,
             "serve.queue_wait_seconds": round(stats.queue_wait_seconds, 9),
             "serve.busy_seconds": round(stats.busy_seconds, 9),
             "serve.replay": replay,
         }
     return metrics
+
+
+def _degraded_block(executor) -> Dict[str, object]:
+    """The per-row ``degraded`` payload: fallback traffic, failovers,
+    recoveries, and the full per-replica health-transition timeline.
+
+    Works for both executors: the PR-5 :class:`ShardExecutor` has no
+    replicas, so everything but its fallback tally reads as zero/empty.
+    """
+    health = getattr(executor, "health", None)
+    return {
+        "fallback_windows": getattr(executor, "fallback_windows", 0),
+        "failovers": getattr(executor, "failovers", 0),
+        "recoveries": getattr(executor, "recoveries", 0),
+        "deferred_windows": getattr(executor, "deferrals", 0),
+        "health_transitions": (
+            health.transitions() if health is not None else []
+        ),
+    }
 
 
 def _check_against_oracle(
@@ -147,11 +173,52 @@ def run_sweep_point(
     index_cls: Type,
     request_tuples: int,
     spec: SystemSpec = V100_NVLINK2,
+    replicas: int = 1,
+    replica_index_classes: Optional[Sequence[Type]] = None,
+    chaos_text: str = "",
 ) -> dict:
-    """Serve one (shards, window, skew) configuration; returns its row."""
+    """Serve one (shards, window, skew) configuration; returns its row.
+
+    ``replicas=1`` with no chaos keeps the PR-5 single-copy executor --
+    bit-identical rows to earlier payloads aside from the additive
+    ``degraded`` block.  ``replicas>1`` (or any chaos schedule) serves
+    through :class:`ReplicatedShardExecutor`; ``chaos_text`` carries a
+    ``repro-chaos/1`` schedule as JSON text so sweep tasks stay plain
+    picklable tuples.
+    """
     window_bytes = window_kib * KIB
-    plan = range_shard(relation, num_shards, index_cls)
-    executor = ShardExecutor(plan, fallback_shard(relation, index_cls))
+    replicated = replicas > 1 or bool(chaos_text) or bool(
+        replica_index_classes
+    )
+    if replicated:
+        index_classes = (
+            list(replica_index_classes)
+            if replica_index_classes
+            else [index_cls] * replicas
+        )
+        if len(index_classes) != replicas:
+            raise ConfigurationError(
+                f"replica index list names {len(index_classes)} replicas "
+                f"but replicas={replicas}"
+            )
+        plan = replicate(relation, num_shards, index_classes)
+        controller = None
+        if chaos_text:
+            import json as _json
+
+            from ..resilience.chaos import ChaosController, ChaosSchedule
+
+            controller = ChaosController(
+                ChaosSchedule.from_dict(_json.loads(chaos_text))
+            )
+        executor = ReplicatedShardExecutor(
+            plan,
+            fallback_shard(relation, index_classes[0]),
+            chaos=controller,
+        )
+    else:
+        plan = range_shard(relation, num_shards, index_cls)
+        executor = ShardExecutor(plan, fallback_shard(relation, index_cls))
     service = ShardedIndexService(
         plan,
         executor,
@@ -176,6 +243,7 @@ def run_sweep_point(
         "shards": num_shards,
         "window_kib": window_kib,
         "zipf_theta": zipf_theta,
+        "replicas": replicas if replicated else 1,
         "requests": num_requests,
         "admitted": report.admitted_requests,
         "rejected": report.rejected_requests,
@@ -190,20 +258,26 @@ def run_sweep_point(
             for name, value in _latency_summary(report).items()
         },
         "failed_shards": executor.failed_shards,
+        "degraded": _degraded_block(executor),
         "per_shard": _per_shard_metrics(report),
     }
 
 
 #: One serve sweep point as a picklable task for the resilient pool:
 #: (num_shards, window_kib, zipf_theta, index_name, r_tuples, requests,
-#: request_tuples, seed, spec).
-ServeTask = Tuple[int, int, float, str, int, int, int, int, SystemSpec]
+#: request_tuples, seed, spec, replicas, replica_indexes, chaos_text).
+ServeTask = Tuple[
+    int, int, float, str, int, int, int, int, SystemSpec,
+    int, Tuple[str, ...], str,
+]
 
 
 def serve_task_label(task: ServeTask) -> str:
     """Short human/fault-matchable name for one serve sweep point."""
     num_shards, window_kib, theta, index = task[:4]
-    return f"serve:{index}:{num_shards}s:{window_kib}k:z{theta}"
+    replicas = task[9]
+    suffix = f":r{replicas}" if replicas > 1 else ""
+    return f"serve:{index}:{num_shards}s:{window_kib}k:z{theta}{suffix}"
 
 
 #: Per-process memo of generated serve workloads, keyed by workload
@@ -248,6 +322,9 @@ def run_serve_point_task(task: ServeTask) -> dict:
         request_tuples,
         seed,
         spec,
+        replicas,
+        replica_indexes,
+        chaos_text,
     ) = task
     faults.check("point", serve_task_label(task))
     relation, probes = _serve_workload(
@@ -262,6 +339,13 @@ def run_serve_point_task(task: ServeTask) -> dict:
         index_cls=INDEX_BY_NAME[index],
         request_tuples=request_tuples,
         spec=spec,
+        replicas=replicas,
+        replica_index_classes=(
+            [INDEX_BY_NAME[name] for name in replica_indexes]
+            if replica_indexes
+            else None
+        ),
+        chaos_text=chaos_text,
     )
 
 
@@ -276,6 +360,9 @@ def run_serve_bench(
     seed: int = 42,
     spec: SystemSpec = V100_NVLINK2,
     workers: int = 0,
+    replicas: int = 1,
+    replica_indexes: Optional[Sequence[str]] = None,
+    chaos_schedule: Optional[str] = None,
 ) -> dict:
     """Run the full sweep; returns the JSON-ready payload.
 
@@ -285,11 +372,43 @@ def run_serve_bench(
     serial path, and either way the payload is bit-identical -- rows
     come back in task order and every row is a pure function of its
     task.  The payload deliberately carries no worker-count field.
+
+    ``replicas``/``replica_indexes`` serve each point through the
+    replicated executor; ``chaos_schedule`` (a path) replays the same
+    scripted fault schedule inside every sweep point.
     """
     if index not in INDEX_BY_NAME:
         raise ConfigurationError(
             f"unknown index {index!r}; choose from "
             f"{', '.join(sorted(INDEX_BY_NAME))}"
+        )
+    if replicas < 1:
+        raise ConfigurationError(
+            f"replica count must be >= 1, got {replicas}"
+        )
+    names: Tuple[str, ...] = tuple(replica_indexes or ())
+    unknown = sorted(set(names) - set(INDEX_BY_NAME))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown replica index names {unknown}; choose from "
+            f"{', '.join(sorted(INDEX_BY_NAME))}"
+        )
+    if names and len(names) != replicas:
+        raise ConfigurationError(
+            f"--replica-indexes names {len(names)} replicas but "
+            f"--replicas is {replicas}"
+        )
+    chaos_text = ""
+    if chaos_schedule:
+        # Validate eagerly (a bad file should fail the run, not every
+        # worker) and ship the schedule as canonical JSON text so the
+        # task tuples stay picklable.
+        import json as _json
+
+        from ..resilience.chaos import ChaosSchedule
+
+        chaos_text = _json.dumps(
+            ChaosSchedule.load(chaos_schedule).as_dict(), sort_keys=True
         )
     resolved = resolve_workers(workers)
     tasks: List[ServeTask] = [
@@ -303,6 +422,9 @@ def run_serve_bench(
             request_tuples,
             seed,
             spec,
+            replicas,
+            names,
+            chaos_text,
         )
         for theta in zipf_thetas
         for num_shards in shards
@@ -317,6 +439,9 @@ def run_serve_bench(
     return {
         "benchmark": "repro-serve",
         "index": index,
+        "replicas": replicas,
+        "replica_indexes": list(names) if names else [index] * replicas,
+        "chaos_schedule": chaos_schedule or "",
         "r_tuples": r_tuples,
         "requests": requests,
         "request_tuples": request_tuples,
@@ -340,6 +465,9 @@ def main(
     seed: int = 42,
     json_path: Optional[str] = None,
     workers: int = 0,
+    replicas: int = 1,
+    replica_indexes: Optional[Sequence[str]] = None,
+    chaos_schedule: Optional[str] = None,
 ) -> dict:
     """CLI entry point: run the sweep, print a summary, optionally write."""
     payload = run_serve_bench(
@@ -349,14 +477,24 @@ def main(
         index=index,
         seed=seed,
         workers=workers,
+        replicas=replicas,
+        replica_indexes=replica_indexes,
+        chaos_schedule=chaos_schedule,
     )
     for row in payload["sweeps"]:
+        degraded = row["degraded"]
+        extras = ""
+        if degraded["failovers"] or degraded["recoveries"]:
+            extras = (
+                f", failovers {degraded['failovers']}, "
+                f"recoveries {degraded['recoveries']}"
+            )
         print(
             f"shards={row['shards']} window={row['window_kib']}KiB "
             f"theta={row['zipf_theta']}: "
             f"{row['throughput_lookups_per_second']:.0f} lookups/s, "
             f"p99 {row['latency_seconds']['p99'] * 1e6:.1f}us, "
-            f"admitted {row['admitted']}/{row['requests']}"
+            f"admitted {row['admitted']}/{row['requests']}{extras}"
         )
     if json_path:
         write_serve_bench(payload, json_path)

@@ -1,22 +1,38 @@
-"""Window execution: probe, price, retry, degrade.
+"""Window execution: probe, price, retry, fail over, degrade.
 
 The executor runs one closed window on its shard and answers two
 questions: *what are the positions* (by actually probing the simulated
 index) and *how long did it take* (by pricing the shard's replayed
 window counters through the cost model -- simulated seconds, never wall
-clock).  Failures are injected through the ``shard`` fault site and
-absorbed by the resilience layer's retry policy; backoff sleeps are
-captured into *simulated* delay instead of sleeping, so fault plans
-stretch latency without touching the wall clock.  A shard that exhausts
-its retry budget is marked failed and its traffic degrades to the
-single-shard fallback index -- slower, but returning identical global
-positions, so recovery never changes results.
+clock).  Failures are injected through the fault sites and absorbed by
+the resilience layer's retry policy; backoff sleeps are captured into
+*simulated* delay instead of sleeping, so fault plans stretch latency
+without touching the wall clock.
+
+Two executors share that contract:
+
+* :class:`ShardExecutor` (PR 5): one index per range.  A shard that
+  exhausts its retry budget is marked failed and its traffic degrades
+  to the single-shard fallback index.
+* :class:`ReplicatedShardExecutor`: K replicas per range behind a
+  cost-based router.  A window goes to the cheapest healthy replica
+  (probation replicas first -- the half-open trial); a replica that
+  exhausts its budget is declared dead, its rebuild is priced and
+  scheduled on the simulated clock, and the window fails over to the
+  next candidate.  With every replica of a range down, the router
+  weighs *waiting for the earliest rebuild* against *probing the
+  fallback* and either defers the window (:class:`WindowDeferred`) or
+  degrades.
+
+Either way a window's positions are identical no matter which replica
+or fallback served it -- all copies return global R positions -- which
+is the invariance the chaos harness checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,15 +45,27 @@ from ..perf.model import CostModel
 from ..resilience import faults
 from ..resilience.retry import RetryPolicy, active_policy, with_retry
 from .batcher import Window
+from .health import DEFAULT_FAILURE_THRESHOLD, HealthTracker, PROBATION
+from .recovery import RebuildCost, price_rebuild
+from .replica import ReplicatedPlan
 from .shard import CALIBRATION_SIM, Shard, ShardPlan
 
 #: Fault-injection site checked before every window probe.  Plans match
 #: shards via the label, e.g. ``shard:raise@2:match=shard1``.
 FAULT_SITE = "shard"
 
+#: Fault site of the replicated path; labels name the replica, e.g.
+#: ``replica:raise@2:match=shard1r0``.
+REPLICA_FAULT_SITE = "replica"
+
 #: A window executes as two serial kernels, mirroring the windowed
 #: INLJ's partition-then-probe stage pair (Section 5).
 KERNELS_PER_WINDOW = 2
+
+#: A window defers to a pending rebuild at most this many times before
+#: it must take the fallback -- the terminating backstop under fault
+#: schedules that keep re-killing the recovering replica.
+MAX_WINDOW_DEFERRALS = 2
 
 
 @dataclass
@@ -57,6 +85,43 @@ class WindowResult:
     degraded: bool = False
     #: Filled in by the service: seconds the window sat queued.
     queue_wait: float = 0.0
+    #: Replica that served the window (-1: unreplicated or fallback).
+    replica: int = -1
+    #: Replicas that died under this window before one answered.
+    failovers: int = 0
+
+
+@dataclass(frozen=True)
+class WindowDeferred:
+    """The router chose to wait for a rebuild instead of degrading.
+
+    The service re-queues the window and retries it once the simulated
+    clock reaches ``ready_at`` (the earliest pending rebuild of the
+    window's shard).
+    """
+
+    window: Window
+    ready_at: float
+
+
+def _fallback_probe(fallback: Shard, window: Window) -> np.ndarray:
+    """Degraded-path probe, attributed to the ``serve_fallback`` phase.
+
+    The fallback index bypasses the per-shard counters, so degraded
+    traffic gets its own ``serve.fallback.*`` names -- visible in
+    ``repro obs report`` instead of silently folded into healthy
+    traffic.  The fallback spans all of R, so its positions are already
+    global: identical to the healthy shard's answer.
+    """
+    with obs.phase("serve_fallback"):
+        with obs.span("serve.fallback.probe", shard=window.shard_id):
+            positions = fallback.probe(window.keys)
+        if obs.enabled():
+            obs.add("serve.fallback.windows", shard=window.shard_id)
+            obs.add(
+                "serve.fallback.lookups", len(window), shard=window.shard_id
+            )
+    return positions
 
 
 @dataclass
@@ -76,6 +141,7 @@ class ShardExecutor:
             self.policy = active_policy()
         self._cost = CostModel(self.spec)
         self._failed = [False] * self.plan.num_shards
+        self.fallback_windows = 0
 
     def shard_failed(self, shard_id: int) -> bool:
         """True once ``shard_id`` exhausted its retry budget."""
@@ -85,8 +151,14 @@ class ShardExecutor:
     def failed_shards(self) -> List[int]:
         return [sid for sid, down in enumerate(self._failed) if down]
 
-    def execute(self, window: Window) -> WindowResult:
-        """Run one window; returns positions plus simulated timing."""
+    def execute(self, window: Window, now: float = 0.0) -> WindowResult:
+        """Run one window; returns positions plus simulated timing.
+
+        ``now`` is the dispatch timestamp on the simulated clock; the
+        unreplicated executor does not use it (accepted so the service
+        drives both executors identically).
+        """
+        del now
         shard = self.plan.shards[window.shard_id]
         delays: List[float] = []
         degraded = self._failed[window.shard_id]
@@ -110,9 +182,8 @@ class ShardExecutor:
                 if obs.enabled():
                     obs.add("serve.shard_failures", shard=window.shard_id)
         if degraded:
-            # The fallback index spans all of R, so its positions are
-            # already global -- identical to the healthy shard's answer.
-            positions = self.fallback.probe(window.keys)
+            positions = _fallback_probe(self.fallback, window)
+            self.fallback_windows += 1
         assert positions is not None
         active = self.fallback if degraded else shard
         counters = active.window_counters(len(window), self.spec, self.sim)
@@ -136,3 +207,326 @@ class ShardExecutor:
             retries=len(delays),
             degraded=degraded,
         )
+
+
+@dataclass
+class ReplicatedShardExecutor:
+    """Cost-routed window execution over replica sets with recovery.
+
+    ``chaos`` is an optional scripted fault source (duck-typed against
+    :class:`repro.resilience.chaos.ChaosController`): ``check_probe``
+    is consulted before every replica probe attempt and ``on_restart``
+    is notified when a rebuilt replica rejoins.
+    """
+
+    plan: ReplicatedPlan
+    fallback: Shard
+    spec: SystemSpec = V100_NVLINK2
+    sim: SimulationConfig = CALIBRATION_SIM
+    policy: Optional[RetryPolicy] = None
+    failure_threshold: int = DEFAULT_FAILURE_THRESHOLD
+    chaos: Optional[object] = None
+    _cost: CostModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.policy is None:
+            self.policy = active_policy()
+        self._cost = CostModel(self.spec)
+        self.health = HealthTracker(
+            self.plan.num_shards,
+            self.plan.replicas_per_shard,
+            failure_threshold=self.failure_threshold,
+        )
+        #: Simulated window price per (shard, replica, window tuples).
+        self._price_memo: Dict[Tuple[int, int, int], float] = {}
+        self._fallback_price_memo: Dict[int, float] = {}
+        #: Rebuild price per (shard, replica): the replica's slice and
+        #: index type never change, so one pricing per slot suffices.
+        self._rebuild_memo: Dict[Tuple[int, int], RebuildCost] = {}
+        #: Newly scheduled rebuild completions for the service to turn
+        #: into simulated-clock events: (ready_at, (shard, replica)).
+        self._scheduled: List[Tuple[float, Tuple[int, int]]] = []
+        #: Monotonic id of every executed window, chaos's batch handle.
+        self._window_seq = 0
+        self.fallback_windows = 0
+        self.failovers = 0
+        self.recoveries = 0
+        self.deferrals = 0
+
+    # ------------------------------------------------------------------
+    # Pricing and routing.
+    # ------------------------------------------------------------------
+
+    def window_price(
+        self, shard_id: int, replica_id: int, window_tuples: int
+    ) -> float:
+        """Simulated seconds for one replica to serve one window."""
+        key = (shard_id, replica_id, window_tuples)
+        if key not in self._price_memo:
+            shard = self.plan.replica(shard_id, replica_id).shard
+            counters = shard.window_counters(
+                window_tuples, self.spec, self.sim
+            )
+            self._price_memo[key] = (
+                self._cost.probe_stage_time(counters)
+                + KERNELS_PER_WINDOW
+                * self._cost.constants.kernel_launch_seconds
+            )
+        return self._price_memo[key]
+
+    def fallback_price(self, window_tuples: int) -> float:
+        if window_tuples not in self._fallback_price_memo:
+            counters = self.fallback.window_counters(
+                window_tuples, self.spec, self.sim
+            )
+            self._fallback_price_memo[window_tuples] = (
+                self._cost.probe_stage_time(counters)
+                + KERNELS_PER_WINDOW
+                * self._cost.constants.kernel_launch_seconds
+            )
+        return self._fallback_price_memo[window_tuples]
+
+    def rebuild_cost(self, shard_id: int, replica_id: int) -> RebuildCost:
+        key = (shard_id, replica_id)
+        if key not in self._rebuild_memo:
+            shard = self.plan.replica(shard_id, replica_id).shard
+            self._rebuild_memo[key] = price_rebuild(
+                shard, self.spec, self._cost.constants
+            )
+        return self._rebuild_memo[key]
+
+    def route(self, shard_id: int, window_tuples: int) -> List[int]:
+        """Serving candidates for one window, best first.
+
+        Probation replicas lead (the half-open trial: a shard executes
+        one window at a time, so probation-first ordering is exactly
+        one in-flight trial); within a tier the cheapest priced replica
+        wins, with replica id as the deterministic tiebreak.
+        """
+        ranked: List[Tuple[int, float, int]] = []
+        for replica in self.plan.replicas(shard_id):
+            if self.health.is_dead(shard_id, replica.replica_id):
+                continue
+            tier = (
+                0
+                if self.health.state(shard_id, replica.replica_id)
+                == PROBATION
+                else 1
+            )
+            ranked.append(
+                (
+                    tier,
+                    self.window_price(
+                        shard_id, replica.replica_id, window_tuples
+                    ),
+                    replica.replica_id,
+                )
+            )
+        ranked.sort()
+        return [replica_id for _, _, replica_id in ranked]
+
+    # ------------------------------------------------------------------
+    # Failure, recovery, and the service-facing hooks.
+    # ------------------------------------------------------------------
+
+    def _on_dead(self, shard_id: int, replica_id: int, now: float) -> None:
+        """Price and schedule the dead replica's background rebuild."""
+        cost = self.rebuild_cost(shard_id, replica_id)
+        ready_at = now + cost.seconds
+        self.health.schedule_rebuild(
+            shard_id, replica_id, now, ready_at, detail=cost.describe()
+        )
+        self._scheduled.append((ready_at, (shard_id, replica_id)))
+        if obs.enabled():
+            obs.add("serve.rebuilds", shard=shard_id, replica=replica_id)
+            obs.observe(
+                "serve.rebuild_seconds",
+                cost.seconds,
+                shard=shard_id,
+                replica=replica_id,
+            )
+
+    def take_scheduled(self) -> List[Tuple[float, Tuple[int, int]]]:
+        """Drain rebuild completions scheduled since the last call."""
+        scheduled = self._scheduled
+        self._scheduled = []
+        return scheduled
+
+    def handle_recovery(self, key: Tuple[int, int], now: float) -> bool:
+        """A rebuild completion event fired: the replica rejoins.
+
+        Returns True when the replica actually transitioned (a stale
+        completion for a replica that was never dead is a no-op).
+        """
+        shard_id, replica_id = key
+        if not self.health.complete_rebuild(shard_id, replica_id, now):
+            return False
+        self.recoveries += 1
+        if self.chaos is not None:
+            self.chaos.on_restart(shard_id, replica_id, now)  # type: ignore[attr-defined]
+        if obs.enabled():
+            obs.add("serve.recoveries", shard=shard_id, replica=replica_id)
+        return True
+
+    @property
+    def failed_shards(self) -> List[int]:
+        """Shards whose entire replica set is currently dead."""
+        return [
+            shard_id
+            for shard_id in range(self.plan.num_shards)
+            if all(
+                self.health.is_dead(shard_id, replica.replica_id)
+                for replica in self.plan.replicas(shard_id)
+            )
+        ]
+
+    def shard_failed(self, shard_id: int) -> bool:
+        return all(
+            self.health.is_dead(shard_id, replica.replica_id)
+            for replica in self.plan.replicas(shard_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, window: Window, now: float = 0.0
+    ) -> Union[WindowResult, WindowDeferred]:
+        """Serve one window at simulated time ``now``.
+
+        Walks the routed candidates; each candidate gets the full retry
+        budget, and one that exhausts it is declared dead (rebuild
+        scheduled) before the window fails over to the next.  With no
+        candidate left, the failover-vs-wait decision runs: defer to
+        the earliest rebuild when waiting is priced cheaper than the
+        fallback probe, else degrade.
+        """
+        seq = self._window_seq
+        self._window_seq += 1
+        shard_id = window.shard_id
+        delays: List[float] = []
+        failovers = 0
+        positions: Optional[np.ndarray] = None
+        served_by = -1
+
+        for replica_id in self.route(shard_id, len(window)):
+            shard = self.plan.replica(shard_id, replica_id).shard
+            label = f"shard{shard_id}r{replica_id}"
+
+            def probe(
+                replica_id: int = replica_id,
+                shard: Shard = shard,
+                label: str = label,
+            ) -> np.ndarray:
+                try:
+                    if self.chaos is not None:
+                        self.chaos.check_probe(  # type: ignore[attr-defined]
+                            shard_id, replica_id, now, seq
+                        )
+                    faults.check(REPLICA_FAULT_SITE, label=label)
+                    out = shard.probe(window.keys)
+                except Exception:
+                    self.health.record_failure(shard_id, replica_id, now)
+                    raise
+                self.health.record_success(shard_id, replica_id, now)
+                return out
+
+            try:
+                positions = with_retry(
+                    probe,
+                    self.policy,
+                    label=f"serve.{label}",
+                    sleep=delays.append,
+                )
+                served_by = replica_id
+                break
+            except SweepExecutionError:
+                self.health.force_dead(shard_id, replica_id, now)
+                self._on_dead(shard_id, replica_id, now)
+                failovers += 1
+                self.health.note(
+                    now, shard_id, replica_id, "failover", f"window={seq}"
+                )
+                if obs.enabled():
+                    obs.add(
+                        "serve.failovers", shard=shard_id, replica=replica_id
+                    )
+
+        self.failovers += failovers
+        degraded = False
+        if positions is None:
+            deferred = self._maybe_defer(window, now, seq)
+            if deferred is not None:
+                return deferred
+            positions = _fallback_probe(self.fallback, window)
+            self.fallback_windows += 1
+            degraded = True
+            self.health.note(now, shard_id, -1, "fallback", f"window={seq}")
+
+        if degraded:
+            active = self.fallback
+            counters = active.window_counters(
+                len(window), self.spec, self.sim
+            )
+        else:
+            active = self.plan.replica(shard_id, served_by).shard
+            counters = active.window_counters(
+                len(window), self.spec, self.sim
+            )
+        service = (
+            self._cost.probe_stage_time(counters)
+            + KERNELS_PER_WINDOW * self._cost.constants.kernel_launch_seconds
+            + sum(delays)
+        )
+        if obs.enabled():
+            if delays:
+                obs.add("serve.retries", len(delays), shard=shard_id)
+            if degraded:
+                obs.add("serve.degraded_windows", shard=shard_id)
+        return WindowResult(
+            window=window,
+            positions=positions,
+            service_seconds=service,
+            counters=counters,
+            retries=len(delays),
+            degraded=degraded,
+            replica=served_by,
+            failovers=failovers,
+        )
+
+    def _maybe_defer(
+        self, window: Window, now: float, seq: int
+    ) -> Optional[WindowDeferred]:
+        """The failover-vs-wait decision once every replica is dead.
+
+        Waiting wins when (time until the earliest rebuild completes)
+        plus (the rebuilt replica's window price) undercuts the
+        fallback probe -- both sides in the same simulated currency.
+        Deferrals per window are capped so fault schedules that keep
+        re-killing the recovering replica still terminate.
+        """
+        if window.deferrals >= MAX_WINDOW_DEFERRALS:
+            return None
+        pending = self.health.next_rebuild_ready(window.shard_id)
+        if pending is None:
+            return None
+        ready_at, replica_id = pending
+        wait = max(0.0, ready_at - now)
+        rebuilt_price = self.window_price(
+            window.shard_id, replica_id, len(window)
+        )
+        if wait + rebuilt_price >= self.fallback_price(len(window)):
+            return None
+        window.deferrals += 1
+        self.deferrals += 1
+        self.health.note(
+            now,
+            window.shard_id,
+            replica_id,
+            "deferred",
+            f"window={seq} ready_at={ready_at:.9f}",
+        )
+        if obs.enabled():
+            obs.add("serve.deferred_windows", shard=window.shard_id)
+        return WindowDeferred(window=window, ready_at=ready_at)

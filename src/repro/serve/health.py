@@ -1,0 +1,264 @@
+"""Replica health tracking on the simulated clock.
+
+The replicated serving layer needs one source of truth for "which
+replica may serve this window".  :class:`HealthTracker` keeps a small
+per-replica state machine driven entirely by *simulated* timestamps the
+caller passes in -- the tracker itself never reads a clock (DET002), so
+the full health timeline of a run is a deterministic function of the
+traffic and the fault schedule.
+
+States::
+
+    healthy --(consecutive failures >= threshold, or retry budget
+               exhausted)--> dead --(rebuild completes)--> probation
+    probation --(first successful probe)--> healthy
+    probation --(any failure)--> dead            (half-open trips again)
+
+``probation`` is the half-open state of a classic circuit breaker: a
+rebuilt replica is *allowed* traffic again but has not yet proven
+itself; the router sends it one trial window (it executes one window at
+a time, so probation-first ordering is exactly "one in-flight trial").
+
+Every transition is appended to :attr:`HealthTracker.events` as a
+:class:`HealthEvent` -- the bit-identical failover/recovery timeline the
+chaos harness replays and ``repro serve-bench`` exports in its
+``degraded`` block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: Replica health states (plain strings: they land in JSON payloads).
+HEALTHY = "healthy"
+PROBATION = "probation"
+DEAD = "dead"
+
+#: Default consecutive-failure threshold before a replica is declared
+#: dead.  Two strikes: one transient blip is absorbed by the retry
+#: policy, two in a row reads as a crashed or wedged replica.
+DEFAULT_FAILURE_THRESHOLD = 2
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One timestamped health transition of one replica.
+
+    Attributes:
+        time: simulated time of the transition, seconds.
+        shard: range shard the replica serves.
+        replica: replica id within the shard's replica set.
+        kind: ``failure | dead | failover | rebuild_scheduled |
+            rebuild_complete | recovered | deferred | fallback``.
+        detail: free-form context (rebuild kind, priced seconds, ...).
+    """
+
+    time: float
+    shard: int
+    replica: int
+    kind: str
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "t": round(self.time, 9),
+            "shard": self.shard,
+            "replica": self.replica,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class _ReplicaHealth:
+    state: str = HEALTHY
+    consecutive_failures: int = 0
+    #: Simulated completion time of the in-flight rebuild, if any.
+    rebuild_ready_at: Optional[float] = None
+
+
+class HealthTracker:
+    """Per-replica failure detection with deterministic transitions."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        replicas_per_shard: int,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+    ):
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"health tracker needs at least one shard, got {num_shards}"
+            )
+        if replicas_per_shard < 1:
+            raise ConfigurationError(
+                "health tracker needs at least one replica per shard, got "
+                f"{replicas_per_shard}"
+            )
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure threshold must be >= 1, got {failure_threshold}"
+            )
+        self.num_shards = num_shards
+        self.replicas_per_shard = replicas_per_shard
+        self.failure_threshold = failure_threshold
+        self._health: Dict[Tuple[int, int], _ReplicaHealth] = {
+            (shard, replica): _ReplicaHealth()
+            for shard in range(num_shards)
+            for replica in range(replicas_per_shard)
+        }
+        #: Append-only transition timeline, in event order.
+        self.events: List[HealthEvent] = []
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+
+    def _slot(self, shard: int, replica: int) -> _ReplicaHealth:
+        try:
+            return self._health[(shard, replica)]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown replica shard{shard}r{replica} (plan has "
+                f"{self.num_shards} shards x {self.replicas_per_shard} "
+                "replicas)"
+            ) from None
+
+    def state(self, shard: int, replica: int) -> str:
+        return self._slot(shard, replica).state
+
+    def is_dead(self, shard: int, replica: int) -> bool:
+        return self._slot(shard, replica).state == DEAD
+
+    def rebuild_ready_at(self, shard: int, replica: int) -> Optional[float]:
+        return self._slot(shard, replica).rebuild_ready_at
+
+    def next_rebuild_ready(
+        self, shard: int
+    ) -> Optional[Tuple[float, int]]:
+        """Earliest pending rebuild of ``shard``: (ready_at, replica).
+
+        Ties break on the lower replica id, keeping the failover-vs-wait
+        decision deterministic.  ``None`` when no rebuild is in flight.
+        """
+        best: Optional[Tuple[float, int]] = None
+        for replica in range(self.replicas_per_shard):
+            slot = self._health[(shard, replica)]
+            if slot.state != DEAD or slot.rebuild_ready_at is None:
+                continue
+            candidate = (slot.rebuild_ready_at, replica)
+            if best is None or candidate < best:
+                best = candidate
+        return best
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def transitions(self) -> List[dict]:
+        """The full timeline as JSON-ready dicts, in event order."""
+        return [event.as_dict() for event in self.events]
+
+    # ------------------------------------------------------------------
+    # Transitions.
+    # ------------------------------------------------------------------
+
+    def note(
+        self, time: float, shard: int, replica: int, kind: str, detail: str = ""
+    ) -> None:
+        """Append a non-state-changing event (failover, fallback, ...)."""
+        self.events.append(HealthEvent(time, shard, replica, kind, detail))
+
+    def record_failure(self, shard: int, replica: int, now: float) -> bool:
+        """One failed probe attempt; returns True on a *new* death.
+
+        A healthy replica dies after ``failure_threshold`` consecutive
+        failures; a probation replica dies on its first (the half-open
+        trial failed).  Failures on an already-dead replica are ignored
+        -- the router should not have sent it traffic.
+        """
+        slot = self._slot(shard, replica)
+        if slot.state == DEAD:
+            return False
+        slot.consecutive_failures += 1
+        self.note(
+            now,
+            shard,
+            replica,
+            "failure",
+            f"consecutive={slot.consecutive_failures}",
+        )
+        if slot.state == PROBATION or (
+            slot.consecutive_failures >= self.failure_threshold
+        ):
+            return self._die(slot, shard, replica, now)
+        return False
+
+    def force_dead(self, shard: int, replica: int, now: float) -> bool:
+        """Declare a replica dead regardless of its failure streak.
+
+        Used when a retry budget is exhausted on one window: whatever
+        the streak says, the replica could not serve.
+        """
+        slot = self._slot(shard, replica)
+        if slot.state == DEAD:
+            return False
+        return self._die(slot, shard, replica, now)
+
+    def _die(
+        self, slot: _ReplicaHealth, shard: int, replica: int, now: float
+    ) -> bool:
+        slot.state = DEAD
+        slot.consecutive_failures = 0
+        self.note(now, shard, replica, "dead")
+        return True
+
+    def record_success(self, shard: int, replica: int, now: float) -> bool:
+        """One served window; returns True when probation -> healthy."""
+        slot = self._slot(shard, replica)
+        slot.consecutive_failures = 0
+        if slot.state == PROBATION:
+            slot.state = HEALTHY
+            self.note(now, shard, replica, "recovered")
+            return True
+        return False
+
+    def schedule_rebuild(
+        self,
+        shard: int,
+        replica: int,
+        now: float,
+        ready_at: float,
+        detail: str = "",
+    ) -> None:
+        """Record that a dead replica's rebuild completes at ``ready_at``."""
+        slot = self._slot(shard, replica)
+        if slot.state != DEAD:
+            raise ConfigurationError(
+                f"cannot rebuild shard{shard}r{replica}: state is "
+                f"{slot.state!r}, not {DEAD!r}"
+            )
+        if ready_at < now:
+            raise ConfigurationError(
+                f"rebuild cannot complete in the past: {ready_at} < {now}"
+            )
+        slot.rebuild_ready_at = ready_at
+        self.note(now, shard, replica, "rebuild_scheduled", detail)
+
+    def complete_rebuild(self, shard: int, replica: int, now: float) -> bool:
+        """A rebuild finished: dead -> probation (half-open).
+
+        Returns True when a transition happened; a completion for a
+        replica that is not dead (e.g. a stale event) is a no-op.
+        """
+        slot = self._slot(shard, replica)
+        if slot.state != DEAD:
+            return False
+        slot.state = PROBATION
+        slot.rebuild_ready_at = None
+        slot.consecutive_failures = 0
+        self.note(now, shard, replica, "rebuild_complete")
+        return True

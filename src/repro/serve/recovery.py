@@ -1,0 +1,112 @@
+"""Rebuild pricing: what it costs to bring a dead replica back.
+
+When a replica dies, its index is gone (the simulated GPU dropped out);
+recovery re-reads the shard's tuples from host memory and rebuilds the
+index structure on-device.  That latency differs sharply by index type
+-- FliX (PAPERS.md) motivates exactly this asymmetry -- and it is the
+quantity the failover-vs-wait decision trades against the price of
+probing a slower surviving replica or the whole-relation fallback:
+
+* ``slice_copy`` (binary search): the index *is* the sorted slice; one
+  sequential scan over the interconnect and the replica is back.
+* ``bulk_load`` (B+tree, Harmonia): scan the slice, write the node
+  arrays (the structure's footprint), and run the linear bulk-load
+  pass.
+* ``retrain`` (RadixSpline): two passes over the keys -- one to fit
+  spline segments, one to verify the error bound -- plus writing the
+  radix table and segment arrays.
+* ``hash_rebuild`` (anything else): scan the slice and scatter every
+  tuple into the table at random-sector efficiency.
+
+All prices come from the same :class:`~repro.perf.model.CostModel` that
+prices probe windows, so "wait for the rebuild" and "fail over" are in
+the same simulated currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..hardware.spec import SystemSpec, V100_NVLINK2
+from ..perf.model import CalibrationConstants, CostModel, DEFAULT_CALIBRATION
+from ..units import KEY_BYTES
+from .shard import Shard
+
+#: Rebuild kind per index name; unknown index types price as a hash
+#: rebuild (the most conservative: random scatter per tuple).
+REBUILD_KIND_BY_INDEX: Dict[str, str] = {
+    "binary search": "slice_copy",
+    "B+tree": "bulk_load",
+    "Harmonia": "bulk_load",
+    "FAST tree": "bulk_load",
+    "RadixSpline": "retrain",
+}
+
+#: Kernel launches charged per rebuild (transfer + build), mirroring the
+#: probe path's partition-then-probe pair.
+REBUILD_KERNELS = 2
+
+
+@dataclass(frozen=True)
+class RebuildCost:
+    """Priced recovery of one replica.
+
+    ``breakdown`` maps stage name -> seconds and sums to ``seconds``
+    (minus nothing: launches are a stage of their own).
+    """
+
+    seconds: float
+    kind: str
+    breakdown: Dict[str, float]
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.seconds:.9f}s"
+
+
+def price_rebuild(
+    shard: Shard,
+    spec: SystemSpec = V100_NVLINK2,
+    constants: CalibrationConstants = DEFAULT_CALIBRATION,
+) -> RebuildCost:
+    """Simulated seconds to rebuild ``shard``'s index from host memory.
+
+    Pure and deterministic: depends only on the shard's tuple count,
+    its index type's footprint, and the machine spec -- never on run
+    state -- so recovery timelines replay bit-identically.
+    """
+    cost = CostModel(spec, constants)
+    n = shard.num_tuples
+    slice_bytes = float(n * KEY_BYTES)
+    kind = REBUILD_KIND_BY_INDEX.get(shard.index.name, "hash_rebuild")
+    breakdown: Dict[str, float] = {}
+    if kind == "slice_copy":
+        breakdown["scan"] = cost.scan_time(slice_bytes)
+    elif kind == "bulk_load":
+        breakdown["scan"] = cost.scan_time(slice_bytes)
+        breakdown["write_structure"] = cost.gpu_memory_time(
+            float(shard.index.footprint_bytes)
+        )
+        breakdown["bulk_load"] = cost.compute_time(float(n))
+    elif kind == "retrain":
+        # Fit pass + error-bound verification pass over the keys.
+        breakdown["scan"] = 2.0 * cost.scan_time(slice_bytes)
+        breakdown["write_structure"] = cost.gpu_memory_time(
+            float(shard.index.footprint_bytes)
+        )
+        breakdown["train"] = cost.compute_time(float(2 * n))
+    else:
+        breakdown["scan"] = cost.scan_time(slice_bytes)
+        breakdown["scatter"] = cost.gpu_memory_time(
+            float(n)
+            * constants.hash_build_accesses
+            * constants.gpu_sector_bytes,
+            random=True,
+        )
+        breakdown["build"] = cost.compute_time(float(n))
+    breakdown["launches"] = (
+        REBUILD_KERNELS * constants.kernel_launch_seconds
+    )
+    return RebuildCost(
+        seconds=sum(breakdown.values()), kind=kind, breakdown=breakdown
+    )

@@ -31,12 +31,31 @@ from ..hardware.counters import PerfCounters
 from .admission import AdmissionController
 from .batcher import ShardBatcher, Window
 from .clock import SimulatedClock
-from .executor import ShardExecutor, WindowResult
+from .executor import ShardExecutor, WindowDeferred, WindowResult
 from .shard import ShardPlan
 
-#: Heap ranks: completions before arrivals at equal timestamps.
+#: Heap ranks: recoveries before completions before arrivals at equal
+#: timestamps.  A replica rejoining at time t must be visible to a
+#: window dispatched at t (the deferral path relies on it), and a
+#: draining shard must free backlog before the next arrival is
+#: admitted.
+_RECOVERY = -1
 _COMPLETION = 0
 _ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class _Recovery:
+    """Heap payload: a scheduled rebuild completes; replica rejoins."""
+
+    key: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class _ShardKick:
+    """Heap payload: re-dispatch a shard parked on a deferred window."""
+
+    shard_id: int
 
 
 @dataclass(frozen=True)
@@ -89,6 +108,8 @@ class ShardStats:
     matches: int = 0
     retries: int = 0
     degraded_windows: int = 0
+    failovers: int = 0
+    deferred_windows: int = 0
     queue_wait_seconds: float = 0.0
     busy_seconds: float = 0.0
     counters: PerfCounters = field(default_factory=PerfCounters)
@@ -152,6 +173,15 @@ class ShardedIndexService:
         ]
         self._busy: List[bool] = [False] * plan.num_shards
         self._seq = 0
+        #: Makespan excludes trailing recovery events: a rebuild that
+        #: completes after the last tuple was served extends the event
+        #: timeline, not the serving time.
+        self._makespan = 0.0
+        # Replication hooks, duck-typed so the PR-5 executor (which has
+        # neither replicas nor recovery) keeps working unchanged.
+        self._take_scheduled = getattr(executor, "take_scheduled", None)
+        self._handle_recovery = getattr(executor, "handle_recovery", None)
+        self._stats: Dict[int, ShardStats] = {}
 
     # ------------------------------------------------------------------
     # Event loop.
@@ -181,6 +211,7 @@ class ShardedIndexService:
         stats = {
             shard.shard_id: ShardStats() for shard in self.plan.shards
         }
+        self._stats = stats
         # Global stream bookkeeping: admitted requests occupy contiguous
         # stream-index ranges, so a searchsorted over their start
         # offsets maps any window index back to its owning request.
@@ -198,9 +229,22 @@ class ShardedIndexService:
             while heap:
                 timestamp, rank, _, payload = heapq.heappop(heap)
                 self.clock.advance_to(timestamp)
+                if rank == _RECOVERY:
+                    assert isinstance(payload, _Recovery)
+                    if self._handle_recovery is not None:
+                        self._handle_recovery(payload.key, self.clock.now)
+                    continue
+                if isinstance(payload, _ShardKick):
+                    # The deferred window's rebuild deadline arrived;
+                    # the recovery at the same timestamp already ran
+                    # (rank -1), so the rejoined replica is routable.
+                    self._busy[payload.shard_id] = False
+                    self._start_next(heap, payload.shard_id, stats)
+                    continue
                 if rank == _ARRIVAL:
                     request = payload
                     pending_arrivals -= 1
+                    self._makespan = self.clock.now
                     parts = self.plan.split(
                         request.keys,
                         np.arange(
@@ -234,6 +278,7 @@ class ShardedIndexService:
                         self._enqueue(heap, self.batcher.flush_all())
                 else:
                     result = payload
+                    self._makespan = self.clock.now
                     self._complete(
                         result,
                         outcomes,
@@ -258,7 +303,7 @@ class ShardedIndexService:
         report = ServeReport(
             outcomes=[outcomes[request.request_id] for request in requests],
             shard_stats=stats,
-            makespan_seconds=self.clock.now,
+            makespan_seconds=self._makespan,
             admitted_requests=self.admission.admitted_requests,
             rejected_requests=self.admission.rejected_requests,
         )
@@ -298,7 +343,20 @@ class ShardedIndexService:
         with obs.span(
             "serve.window", shard=shard_id, tuples=len(window)
         ):
-            result = self.executor.execute(window)
+            result = self.executor.execute(window, now=self.clock.now)
+        self._drain_scheduled(heap)
+        if isinstance(result, WindowDeferred):
+            # Failover-vs-wait chose to wait: park the window at the
+            # queue head (original enqueue time intact, so its queue
+            # wait keeps accruing) and hold the shard busy until the
+            # rebuild deadline kicks it.
+            self._queues[shard_id].appendleft((window, enqueued))
+            if shard_id in self._stats:
+                self._stats[shard_id].deferred_windows += 1
+            self._push(
+                heap, result.ready_at, _COMPLETION, _ShardKick(shard_id)
+            )
+            return
         result.queue_wait = wait
         self._push(
             heap,
@@ -306,6 +364,13 @@ class ShardedIndexService:
             _COMPLETION,
             result,
         )
+
+    def _drain_scheduled(self, heap: list) -> None:
+        """Turn newly scheduled rebuilds into simulated-clock events."""
+        if self._take_scheduled is None:
+            return
+        for ready_at, key in self._take_scheduled():
+            self._push(heap, ready_at, _RECOVERY, _Recovery(key))
 
     def _complete(
         self,
@@ -327,6 +392,7 @@ class ShardedIndexService:
         matches = int(np.count_nonzero(result.positions >= 0))
         shard_stats.matches += matches
         shard_stats.retries += result.retries
+        shard_stats.failovers += result.failovers
         if result.degraded:
             shard_stats.degraded_windows += 1
         wait = result.queue_wait

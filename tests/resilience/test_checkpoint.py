@@ -84,6 +84,45 @@ class TestSweepCheckpoint:
         assert reloaded.get("fp-1") == ("ok", 1)
         assert reloaded.stats["discarded"] == 1
 
+    def test_truncated_final_line_keeps_prior_points(self, tmp_path):
+        # A crash mid-append cuts the last record anywhere -- here in
+        # the middle of the base64 payload, leaving broken JSON.  Every
+        # fully-written point must survive untouched.
+        path = str(tmp_path / "sweep.jsonl")
+        store = cp.SweepCheckpoint(path)
+        store.record("fp-1", ("ok", 1))
+        store.record("fp-2", ("ok", 2))
+        lines = open(path).read().splitlines(keepends=True)
+        with open(path, "w") as handle:
+            handle.write(lines[0] + lines[1][: len(lines[1]) // 2])
+        reloaded = cp.SweepCheckpoint(path, resume=True)
+        assert reloaded.get("fp-1") == ("ok", 1)
+        assert reloaded.get("fp-2") is None  # recomputed, not corrupted
+        assert reloaded.stats["discarded"] == 1
+
+    def test_duplicated_point_entries_last_write_wins(self, tmp_path):
+        # A requeued point can legitimately append the same task twice
+        # (e.g. a timed-out worker whose result arrived after all).
+        # Resume must collapse duplicates to the latest record and
+        # serve outcomes bit-identical to a store that only ever saw
+        # the final write.
+        path = str(tmp_path / "sweep.jsonl")
+        store = cp.SweepCheckpoint(path)
+        store.record("fp-1", ("ok", {"seconds": 1.0}))
+        store.record("fp-2", ("ok", 2))
+        store.record("fp-1", ("ok", {"seconds": 0.1 + 0.2}))
+        reloaded = cp.SweepCheckpoint(path, resume=True)
+        assert reloaded.stats["loaded"] == 2
+        assert reloaded.stats["discarded"] == 0
+        assert reloaded.get("fp-2") == ("ok", 2)
+        clean_path = str(tmp_path / "clean.jsonl")
+        clean = cp.SweepCheckpoint(clean_path)
+        clean.record("fp-1", ("ok", {"seconds": 0.1 + 0.2}))
+        assert reloaded.get("fp-1") == cp.SweepCheckpoint(
+            clean_path, resume=True
+        ).get("fp-1")
+        assert reloaded.get("fp-1")[1]["seconds"] == 0.1 + 0.2
+
     def test_injected_corruption_caught_on_reload(self, tmp_path):
         path = str(tmp_path / "sweep.jsonl")
         store = cp.SweepCheckpoint(path)

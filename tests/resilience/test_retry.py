@@ -37,6 +37,24 @@ class TestBackoff:
             pure = min(0.1 * 2 ** (attempt - 1), 10.0)
             assert pure * 0.5 <= delay <= pure
 
+    def test_regression_backoff_overflows_at_large_attempt_counts(self):
+        """Pins a real bug: ``2 ** (attempt - 1)`` at huge attempt
+        counts built a multi-hundred-megabit integer before the
+        ``min()`` discarded it, stalling (or overflowing ``float``) on
+        retry loops driven by external counters.  The exponent is now
+        capped before exponentiating; the capped result is exactly the
+        uncapped one, because any positive base_delay times 2.0**1023
+        clears max_delay.
+        """
+        policy = RetryPolicy(base_delay=0.05, max_delay=2.0, jitter=0.0)
+        assert policy.backoff(10**9) == policy.backoff(12) == 2.0
+        # Even a subnormal-scale base delay saturates at the cap.
+        tiny = RetryPolicy(base_delay=1e-300, max_delay=2.0, jitter=0.0)
+        assert tiny.backoff(10**9) == 2.0
+        # Jittered delays at huge attempts stay deterministic too.
+        jittered = RetryPolicy(jitter=0.5, seed=7)
+        assert jittered.backoff(10**9, "x") == jittered.backoff(10**9, "x")
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             RetryPolicy(max_attempts=0)

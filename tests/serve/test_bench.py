@@ -84,6 +84,99 @@ class TestServeBench:
         assert "lookups/s" in captured.out
 
 
+class TestReplicatedServeBench:
+    """``--replicas`` / ``--chaos-schedule``: the payload's degraded block."""
+
+    DEGRADED_KEYS = {
+        "fallback_windows",
+        "failovers",
+        "recoveries",
+        "deferred_windows",
+        "health_transitions",
+    }
+
+    def test_degraded_block_zero_on_clean_single_copy_run(self):
+        payload = run_serve_bench(**BENCH_KWARGS)
+        assert payload["replicas"] == 1
+        for row in payload["sweeps"]:
+            block = row["degraded"]
+            assert set(block) == self.DEGRADED_KEYS
+            assert block["fallback_windows"] == 0
+            assert block["failovers"] == 0
+            assert block["health_transitions"] == []
+            assert row["per_shard"]["0"]["serve.failovers"] == 0
+            assert row["per_shard"]["0"]["serve.deferred_windows"] == 0
+
+    def test_replicated_payload_deterministic(self):
+        first = run_serve_bench(replicas=2, **BENCH_KWARGS)
+        second = run_serve_bench(replicas=2, **BENCH_KWARGS)
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+        assert first["replicas"] == 2
+        assert first["replica_indexes"] == [
+            "binary-search",
+            "binary-search",
+        ]
+
+    def test_divergent_replicas_serve_correctly(self):
+        # The oracle check inside run_serve_bench asserts every served
+        # request against ground truth, whichever replica answered.
+        payload = run_serve_bench(
+            replicas=2,
+            replica_indexes=["binary-search", "btree"],
+            **BENCH_KWARGS,
+        )
+        assert payload["replica_indexes"] == ["binary-search", "btree"]
+
+    def test_replica_index_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_serve_bench(
+                replicas=3, replica_indexes=["btree"], **BENCH_KWARGS
+            )
+        with pytest.raises(ConfigurationError):
+            run_serve_bench(
+                replicas=2,
+                replica_indexes=["btree", "fractal-tree"],
+                **BENCH_KWARGS,
+            )
+        with pytest.raises(ConfigurationError):
+            run_serve_bench(replicas=0, **BENCH_KWARGS)
+
+    def test_chaos_schedule_flows_into_degraded_block(self, tmp_path):
+        from repro.resilience.chaos import ChaosEvent, ChaosSchedule
+
+        schedule = tmp_path / "kill.json"
+        ChaosSchedule(
+            events=(ChaosEvent(kind="kill", at=0.0, shard=0, replica=0),)
+        ).dump(str(schedule))
+        payload = run_serve_bench(
+            replicas=2, chaos_schedule=str(schedule), **BENCH_KWARGS
+        )
+        assert payload["chaos_schedule"] == str(schedule)
+        blocks = [row["degraded"] for row in payload["sweeps"]]
+        # Homogeneous replicas tie on price, so replica 0 leads the
+        # route and the kill fires: at least one row records the
+        # failover and its priced rebuild.
+        assert any(block["failovers"] >= 1 for block in blocks)
+        transitions = [
+            event
+            for block in blocks
+            for event in block["health_transitions"]
+        ]
+        assert any(
+            event["kind"] == "rebuild_scheduled" for event in transitions
+        )
+        # Chaos stretches time, never results: the same sweep re-run
+        # under the same schedule stays bit-identical.
+        again = run_serve_bench(
+            replicas=2, chaos_schedule=str(schedule), **BENCH_KWARGS
+        )
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
 class TestServeBenchWorkers:
     """The sweep's pooled path is bit-identical to the serial one."""
 

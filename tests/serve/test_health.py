@@ -1,0 +1,184 @@
+"""Replica health tracking: deterministic failure detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.health import (
+    DEAD,
+    DEFAULT_FAILURE_THRESHOLD,
+    HEALTHY,
+    PROBATION,
+    HealthEvent,
+    HealthTracker,
+)
+
+
+def tracker(**kwargs) -> HealthTracker:
+    defaults = dict(num_shards=2, replicas_per_shard=2)
+    defaults.update(kwargs)
+    return HealthTracker(**defaults)
+
+
+class TestValidation:
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ConfigurationError):
+            HealthTracker(num_shards=0, replicas_per_shard=1)
+        with pytest.raises(ConfigurationError):
+            HealthTracker(num_shards=1, replicas_per_shard=0)
+        with pytest.raises(ConfigurationError):
+            HealthTracker(num_shards=1, replicas_per_shard=1, failure_threshold=0)
+
+    def test_unknown_replica_rejected(self):
+        health = tracker()
+        with pytest.raises(ConfigurationError):
+            health.state(2, 0)
+        with pytest.raises(ConfigurationError):
+            health.record_failure(0, 5, now=0.0)
+
+
+class TestFailureDetection:
+    def test_healthy_survives_below_threshold(self):
+        health = tracker(failure_threshold=3)
+        assert not health.record_failure(0, 0, now=1.0)
+        assert not health.record_failure(0, 0, now=2.0)
+        assert health.state(0, 0) == HEALTHY
+
+    def test_consecutive_failures_kill(self):
+        health = tracker()
+        assert DEFAULT_FAILURE_THRESHOLD == 2
+        assert not health.record_failure(0, 0, now=1.0)
+        assert health.record_failure(0, 0, now=2.0)
+        assert health.is_dead(0, 0)
+        assert [event.kind for event in health.events] == [
+            "failure",
+            "failure",
+            "dead",
+        ]
+
+    def test_success_resets_the_streak(self):
+        health = tracker()
+        health.record_failure(0, 0, now=1.0)
+        health.record_success(0, 0, now=2.0)
+        # The next failure starts a fresh streak: still healthy.
+        assert not health.record_failure(0, 0, now=3.0)
+        assert health.state(0, 0) == HEALTHY
+
+    def test_failures_isolated_per_replica(self):
+        health = tracker()
+        health.record_failure(0, 0, now=1.0)
+        health.record_failure(0, 0, now=2.0)
+        assert health.state(0, 1) == HEALTHY
+        assert health.state(1, 0) == HEALTHY
+
+    def test_dead_replica_failures_ignored(self):
+        health = tracker()
+        health.force_dead(0, 0, now=1.0)
+        before = len(health.events)
+        assert not health.record_failure(0, 0, now=2.0)
+        assert len(health.events) == before
+
+    def test_force_dead_skips_the_streak(self):
+        health = tracker(failure_threshold=5)
+        assert health.force_dead(0, 0, now=1.0)
+        assert health.is_dead(0, 0)
+        assert not health.force_dead(0, 0, now=2.0)
+
+
+class TestRecoveryCycle:
+    def kill_and_rebuild(self, health: HealthTracker) -> None:
+        health.force_dead(0, 0, now=1.0)
+        health.schedule_rebuild(0, 0, now=1.0, ready_at=2.0, detail="x")
+        assert health.complete_rebuild(0, 0, now=2.0)
+
+    def test_rebuild_requires_dead(self):
+        health = tracker()
+        with pytest.raises(ConfigurationError):
+            health.schedule_rebuild(0, 0, now=1.0, ready_at=2.0)
+
+    def test_rebuild_cannot_complete_in_the_past(self):
+        health = tracker()
+        health.force_dead(0, 0, now=5.0)
+        with pytest.raises(ConfigurationError):
+            health.schedule_rebuild(0, 0, now=5.0, ready_at=4.0)
+
+    def test_completion_enters_probation(self):
+        health = tracker()
+        self.kill_and_rebuild(health)
+        assert health.state(0, 0) == PROBATION
+        assert health.rebuild_ready_at(0, 0) is None
+
+    def test_stale_completion_is_noop(self):
+        health = tracker()
+        assert not health.complete_rebuild(0, 0, now=1.0)
+        assert health.state(0, 0) == HEALTHY
+
+    def test_probation_recovers_on_first_success(self):
+        health = tracker()
+        self.kill_and_rebuild(health)
+        assert health.record_success(0, 0, now=3.0)
+        assert health.state(0, 0) == HEALTHY
+        assert health.events[-1].kind == "recovered"
+
+    def test_probation_dies_on_first_failure(self):
+        # Half-open circuit breaker: the trial window failed, no second
+        # chance regardless of the healthy-state threshold.
+        health = tracker(failure_threshold=5)
+        self.kill_and_rebuild(health)
+        assert health.record_failure(0, 0, now=3.0)
+        assert health.state(0, 0) == DEAD
+
+
+class TestNextRebuildReady:
+    def test_none_without_pending_rebuild(self):
+        health = tracker()
+        assert health.next_rebuild_ready(0) is None
+        health.force_dead(0, 0, now=1.0)  # dead but unscheduled
+        assert health.next_rebuild_ready(0) is None
+
+    def test_earliest_completion_wins(self):
+        health = tracker()
+        health.force_dead(0, 0, now=1.0)
+        health.force_dead(0, 1, now=1.0)
+        health.schedule_rebuild(0, 0, now=1.0, ready_at=9.0)
+        health.schedule_rebuild(0, 1, now=1.0, ready_at=3.0)
+        assert health.next_rebuild_ready(0) == (3.0, 1)
+
+    def test_ties_break_on_lower_replica_id(self):
+        health = tracker()
+        health.force_dead(0, 0, now=1.0)
+        health.force_dead(0, 1, now=1.0)
+        health.schedule_rebuild(0, 0, now=1.0, ready_at=3.0)
+        health.schedule_rebuild(0, 1, now=1.0, ready_at=3.0)
+        assert health.next_rebuild_ready(0) == (3.0, 0)
+
+
+class TestTimeline:
+    def test_events_serialize_with_rounded_times(self):
+        event = HealthEvent(
+            time=0.123456789123, shard=1, replica=0, kind="dead"
+        )
+        assert event.as_dict() == {
+            "t": 0.123456789,
+            "shard": 1,
+            "replica": 0,
+            "kind": "dead",
+            "detail": "",
+        }
+
+    def test_transitions_and_count(self):
+        health = tracker()
+        health.record_failure(0, 0, now=1.0)
+        health.record_failure(0, 0, now=2.0)
+        health.note(2.0, 0, 0, "failover", "window=7")
+        assert health.count("failure") == 2
+        assert health.count("failover") == 1
+        transitions = health.transitions()
+        assert [entry["kind"] for entry in transitions] == [
+            "failure",
+            "failure",
+            "dead",
+            "failover",
+        ]
+        assert transitions[-1]["detail"] == "window=7"
