@@ -11,13 +11,15 @@ Commands:
   set through the worker pool, and the serve-bench sweep (BENCH_2.json);
 * ``serve-bench [--shards N...] [--window-kib K...] [--zipf T...]
   [--index NAME] [--replicas K] [--replica-indexes NAME...]
-  [--chaos-schedule FILE] [--seed S] [--json FILE]`` -- sweep the
+  [--chaos-schedule FILE] [--update-fraction F...]
+  [--min-compactions N] [--seed S] [--json FILE]`` -- sweep the
   sharded serving layer (simulated clock; output is bit-identical per
-  seed), optionally with K replicas per shard and a scripted fault
-  schedule;
-* ``chaos --schedule FILE [--event-log FILE] [options]`` -- replay a
-  declarative fault schedule against the replicated serving layer and
-  gate on result invariance versus the fault-free run;
+  seed), optionally with K replicas per shard, a scripted fault
+  schedule, and mixed read/write traffic through the delta tier;
+* ``chaos --schedule FILE [--event-log FILE] [--update-fraction F]
+  [options]`` -- replay a declarative fault schedule against the
+  replicated serving layer and gate on result invariance versus the
+  fault-free run, optionally under mixed read/write traffic;
 * ``plan --r-gib N [options]`` -- run the access-path planner for one
   workload and print the EXPLAIN output;
 * ``obs report [manifests...]`` -- render or diff ``metrics.json``
@@ -131,7 +133,7 @@ def cmd_bench2(args) -> int:
 def cmd_serve_bench(args) -> int:
     from .serve.bench import main as serve_bench_main
 
-    serve_bench_main(
+    payload = serve_bench_main(
         shards=tuple(args.shards),
         window_kib=tuple(args.window_kib),
         zipf_thetas=tuple(args.zipf),
@@ -144,7 +146,20 @@ def cmd_serve_bench(args) -> int:
             tuple(args.replica_indexes) if args.replica_indexes else None
         ),
         chaos_schedule=args.chaos_schedule,
+        update_fractions=tuple(args.update_fraction),
     )
+    if args.min_compactions is not None:
+        scheduled = sum(
+            len(row["updates"]["compactions"]) for row in payload["sweeps"]
+        )
+        if scheduled < args.min_compactions:
+            print(
+                f"error: {scheduled} compactions scheduled across the "
+                f"sweep, below the --min-compactions floor of "
+                f"{args.min_compactions}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -165,6 +180,7 @@ def cmd_chaos(args) -> int:
         window_kib=args.window_kib,
         seed=args.seed,
         event_log_path=args.event_log,
+        update_fraction=args.update_fraction,
     )
 
 
@@ -295,6 +311,18 @@ def main(argv=None) -> int:
         help="replay this chaos schedule (repro-chaos/1 JSON) inside "
         "every sweep point",
     )
+    serve_bench.add_argument(
+        "--update-fraction", type=float, nargs="+", default=[0.0],
+        metavar="F",
+        help="update-request fractions to sweep (0.0 = read-only; each "
+        "fraction re-runs the sweep with that share of requests as "
+        "insert/upsert windows through the delta tier)",
+    )
+    serve_bench.add_argument(
+        "--min-compactions", type=int, default=None, metavar="N",
+        help="fail (exit 1) unless at least N priced compactions were "
+        "scheduled across the sweep (deterministic per seed)",
+    )
 
     chaos = subparsers.add_parser(
         "chaos",
@@ -323,6 +351,11 @@ def main(argv=None) -> int:
     chaos.add_argument(
         "--event-log", default=None, metavar="FILE",
         help="write the chaos event-log artifact (timeline + injections)",
+    )
+    chaos.add_argument(
+        "--update-fraction", type=float, default=0.0, metavar="F",
+        help="run the schedule under mixed read/write traffic: this "
+        "share of requests become update windows through the delta tier",
     )
 
     obs_parser = subparsers.add_parser(

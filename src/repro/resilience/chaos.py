@@ -15,7 +15,13 @@ central robustness contract:
 * **Invariance** -- served positions under any schedule that leaves the
   fallback reachable are element-equal to the fault-free run (replicas
   and the fallback all answer in global R positions, so failover can
-  reorder *work*, never *results*).
+  reorder *work*, never *results*).  With ``update_fraction > 0`` the
+  same contract covers mixed read/write traffic: updates are
+  host-authoritative (applied to every replica and the fallback, never
+  routed through a fault site), so a kill schedule stretches read
+  latency but cannot lose a write -- and the chaotic run must still
+  answer element-equal to both the fault-free run and the
+  sorted-array-with-updates oracle.
 * **Replay** -- the same seed and schedule reproduce the run
   bit-identically, including the simulated-clock timeline of
   failure/failover/rebuild/recovery transitions.
@@ -283,6 +289,9 @@ class ChaosRunResult:
     recoveries: int
     deferrals: int
     injections: List[Tuple[float, str]] = field(default_factory=list)
+    update_tuples: int = 0
+    compactions: int = 0
+    compactions_completed: int = 0
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -293,6 +302,9 @@ class ChaosRunResult:
             "deferred_windows": self.deferrals,
             "health_events": len(self.timeline),
             "injections": len(self.injections),
+            "update_tuples": self.update_tuples,
+            "compactions": self.compactions,
+            "compactions_completed": self.compactions_completed,
         }
 
 
@@ -308,23 +320,33 @@ def run_serve_under_chaos(
     window_kib: int = 4,
     zipf_theta: float = 0.0,
     seed: int = 42,
+    update_fraction: float = 0.0,
 ) -> ChaosRunResult:
     """Serve one deterministic workload, optionally under a schedule.
 
     ``schedule=None`` is the fault-free reference run.  The workload,
     plan, and arrival spacing are pure functions of the arguments, so
     two calls with equal arguments are bit-identical -- the property
-    :func:`check_replay` asserts.
+    :func:`check_replay` asserts.  ``update_fraction > 0`` interleaves
+    update requests (the same stream generator the bench uses), checks
+    every served answer against the sorted-array-with-updates oracle,
+    and lets priced compactions fire mid-schedule.
     """
     # Imported here, not at module top: bench imports this module
     # lazily for its --chaos-schedule flag, and the resilience package
     # must stay importable without the serve layer's numpy machinery.
-    from ..serve.bench import INDEX_BY_NAME, _arrival_interval, _serve_workload
+    from ..serve.bench import (
+        INDEX_BY_NAME,
+        _arrival_interval,
+        _check_mixed_against_oracle,
+        _serve_workload,
+    )
     from ..serve.executor import ReplicatedShardExecutor
     from ..serve.service import ProbeRequest, ShardedIndexService
     from ..serve.shard import fallback_shard
     from ..serve.replica import replicate
     from ..units import KEY_BYTES, KIB
+    from ..workloads.updates import make_update_stream
 
     names = list(replica_indexes) if replica_indexes else [index] * replicas
     unknown = sorted(set(names) - set(INDEX_BY_NAME))
@@ -364,15 +386,42 @@ def run_serve_under_chaos(
         request_tuples,
         executor.spec,
     )
-    request_list = [
-        ProbeRequest(
-            request_id=i,
-            keys=probes.keys[i * request_tuples : (i + 1) * request_tuples],
-            arrival=i * interval,
+    if update_fraction > 0.0:
+        base_keys = relation.column.key_at(
+            np.arange(relation.num_tuples, dtype=np.int64)
         )
-        for i in range(requests)
-    ]
-    report = service.run(request_list)
+        stream = make_update_stream(
+            base_keys,
+            probes.keys,
+            requests,
+            request_tuples,
+            update_fraction,
+            seed,
+        )
+        request_list = [
+            ProbeRequest(
+                request_id=i,
+                keys=stream.keys[i],
+                arrival=i * interval,
+                kind=stream.kinds[i],
+                values=stream.values[i],
+            )
+            for i in range(requests)
+        ]
+        report = service.run(request_list)
+        _check_mixed_against_oracle(report, request_list, base_keys)
+    else:
+        request_list = [
+            ProbeRequest(
+                request_id=i,
+                keys=probes.keys[
+                    i * request_tuples : (i + 1) * request_tuples
+                ],
+                arrival=i * interval,
+            )
+            for i in range(requests)
+        ]
+        report = service.run(request_list)
     parts = [
         outcome.positions
         for outcome in report.outcomes
@@ -390,6 +439,9 @@ def run_serve_under_chaos(
         recoveries=executor.recoveries,
         deferrals=executor.deferrals,
         injections=list(controller.injections) if controller else [],
+        update_tuples=executor.update_tuples,
+        compactions=len(executor.compactions),
+        compactions_completed=executor.compactions_completed,
     )
 
 
@@ -455,13 +507,17 @@ def main(
     window_kib: int = 4,
     seed: int = 42,
     event_log_path: Optional[str] = None,
+    update_fraction: float = 0.0,
 ) -> int:
     """``repro chaos``: replay a schedule, gate on result invariance.
 
     Exit status 0 when the scheduled run served positions element-equal
     to the fault-free run *and* the run replays bit-identically; 1 on
     either violation (the event log, if requested, is written in every
-    case so CI can upload the counterexample).
+    case so CI can upload the counterexample).  ``update_fraction > 0``
+    replays the schedule under mixed read/write traffic -- each run
+    additionally oracle-checks itself, so a lost or reordered write
+    fails loudly rather than as a silent divergence.
     """
     schedule = ChaosSchedule.load(schedule_path)
     kwargs: Dict[str, Any] = dict(
@@ -474,6 +530,7 @@ def main(
         request_tuples=request_tuples,
         window_kib=window_kib,
         seed=seed,
+        update_fraction=update_fraction,
     )
     invariant, clean, chaotic = check_invariance(schedule, **kwargs)
     replayed, _, _ = check_replay(schedule, **kwargs)
@@ -484,12 +541,18 @@ def main(
                 schedule, chaotic, invariant, source=schedule_path
             ),
         )
+    updates_note = (
+        f" updates={chaotic.update_tuples} "
+        f"compactions={chaotic.compactions_completed}/{chaotic.compactions}"
+        if update_fraction > 0.0
+        else ""
+    )
     print(
         f"chaos {schedule_path}: events={len(schedule.events)} "
         f"injections={len(chaotic.injections)} "
         f"failovers={chaotic.failovers} recoveries={chaotic.recoveries} "
         f"fallback_windows={chaotic.fallback_windows} "
-        f"deferred={chaotic.deferrals}"
+        f"deferred={chaotic.deferrals}{updates_note}"
     )
     print(
         f"  clean makespan {clean.makespan_seconds:.9f}s, "

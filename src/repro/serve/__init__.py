@@ -11,14 +11,23 @@ discrete-event loop over a logical clock (:mod:`.clock`,
 model (:mod:`.executor`).  Each range can carry K replicas --
 optionally divergent index types (:mod:`.replica`) -- behind a
 cost-based router with failure detection (:mod:`.health`) and priced
-background rebuilds (:mod:`.recovery`).  ``repro serve-bench``
-(:mod:`.bench`) sweeps the configuration space and emits a
-bit-identical BENCH JSON.
+background rebuilds (:mod:`.recovery`).  Online updates land in a
+per-shard sorted delta tier merged into every probe (:mod:`.delta`),
+folded back into the base index by policy-driven compactions priced in
+the same simulated currency.  ``repro serve-bench`` (:mod:`.bench`)
+sweeps the configuration space and emits a bit-identical BENCH JSON.
 """
 
 from .admission import AdmissionController
 from .batcher import ShardBatcher, Window
 from .clock import SimulatedClock
+from .delta import (
+    CompactionPolicy,
+    DeltaBuffer,
+    delta_search_steps,
+    merge_newest_wins,
+    read_amplification,
+)
 from .executor import (
     ReplicatedShardExecutor,
     ShardExecutor,
@@ -32,7 +41,12 @@ from .health import (
     HealthEvent,
     HealthTracker,
 )
-from .recovery import RebuildCost, price_rebuild
+from .recovery import (
+    CompactionCost,
+    RebuildCost,
+    price_compaction,
+    price_rebuild,
+)
 from .replica import Replica, ReplicaSet, ReplicatedPlan, replicate
 from .service import (
     ProbeRequest,
@@ -45,7 +59,10 @@ from .shard import Shard, ShardPlan, fallback_shard, range_shard
 
 __all__ = [
     "AdmissionController",
+    "CompactionCost",
+    "CompactionPolicy",
     "DEAD",
+    "DeltaBuffer",
     "HEALTHY",
     "HealthEvent",
     "HealthTracker",
@@ -68,8 +85,12 @@ __all__ = [
     "Window",
     "WindowDeferred",
     "WindowResult",
+    "delta_search_steps",
     "fallback_shard",
+    "merge_newest_wins",
+    "price_compaction",
     "price_rebuild",
     "range_shard",
+    "read_amplification",
     "replicate",
 ]

@@ -15,7 +15,7 @@ window until :meth:`flush`.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -35,6 +35,11 @@ class Window:
         full: False only for the final, flush-closed partial window.
         deferrals: times the replicated executor parked this window to
             wait for a rebuild (capped; see ``MAX_WINDOW_DEFERRALS``).
+        kind: ``"probe"`` or ``"update"`` -- windows are homogeneous
+            (the batcher cuts on kind changes), so the executor never
+            mixes reads and writes inside one kernel window.
+        values: for update windows, the global row id each key writes;
+            ``None`` for probe windows.
     """
 
     shard_id: int
@@ -42,6 +47,8 @@ class Window:
     indices: np.ndarray
     full: bool
     deferrals: int = 0
+    kind: str = "probe"
+    values: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -66,28 +73,49 @@ class ShardBatcher:
             shard: [] for shard in range(num_shards)
         }
         self._pending_tuples = np.zeros(num_shards, dtype=np.int64)
+        self._pending_kind: Dict[int, str] = {
+            shard: "probe" for shard in range(num_shards)
+        }
 
     def pending_tuples(self, shard_id: int) -> int:
         """Tuples buffered for ``shard_id`` in its open window."""
         return int(self._pending_tuples[shard_id])
 
     def push(
-        self, shard_id: int, keys: np.ndarray, indices: np.ndarray
+        self,
+        shard_id: int,
+        keys: np.ndarray,
+        indices: np.ndarray,
+        kind: str = "probe",
     ) -> List[Window]:
-        """Append a batch to a shard's stream; return any closed windows."""
+        """Append a batch to a shard's stream; return any closed windows.
+
+        Windows stay homogeneous in ``kind``: a batch of a different
+        kind first flushes the shard's open window (as an early-cut
+        partial), preserving per-shard FIFO order between reads and
+        writes -- the ordering the sorted-array oracle replays.
+        """
         if not 0 <= shard_id < self.num_shards:
             raise ConfigurationError(
                 f"shard id {shard_id} outside [0, {self.num_shards})"
             )
+        if kind not in ("probe", "update"):
+            raise ConfigurationError(
+                f"unknown window kind {kind!r} (want 'probe' or 'update')"
+            )
         if len(keys) == 0:
             return []
+        windows: List[Window] = []
+        if self._pending[shard_id] and self._pending_kind[shard_id] != kind:
+            windows.extend(self._cut(shard_id, ended=True))
+        self._pending_kind[shard_id] = kind
         self._pending[shard_id].append(
             TupleBatch(keys=keys, indices=np.asarray(indices, dtype=np.int64))
         )
         self._pending_tuples[shard_id] += len(keys)
-        if self._pending_tuples[shard_id] < self.window_tuples:
-            return []
-        return self._cut(shard_id, ended=False)
+        if self._pending_tuples[shard_id] >= self.window_tuples:
+            windows.extend(self._cut(shard_id, ended=False))
+        return windows
 
     def flush(self, shard_id: int) -> List[Window]:
         """Close the shard's open window early ("no more tuples are
@@ -128,6 +156,7 @@ class ShardBatcher:
                     keys=batch.keys,
                     indices=batch.indices,
                     full=len(batch) >= self.window_tuples,
+                    kind=self._pending_kind[shard_id],
                 )
             )
         return windows

@@ -33,6 +33,7 @@ from ..indexes import (
 from ..ioutil import atomic_write_json
 from ..perf.model import CostModel
 from ..units import KEY_BYTES, KIB
+from ..workloads.updates import SortedArrayOracle, make_update_stream
 from .executor import (
     KERNELS_PER_WINDOW,
     ReplicatedShardExecutor,
@@ -66,6 +67,9 @@ DEFAULT_UTILIZATION = 0.8
 
 #: Per-shard backlog bound, in windows worth of tuples.
 BACKLOG_WINDOWS = 8
+
+#: Default update-fraction axis: the read-only sweep of PR 5.
+DEFAULT_UPDATE_FRACTIONS = (0.0,)
 
 
 def _arrival_interval(
@@ -164,6 +168,76 @@ def _check_against_oracle(
             )
 
 
+def _check_mixed_against_oracle(
+    report: ServeReport, requests: List[ProbeRequest], base_keys: np.ndarray
+) -> None:
+    """Replay admitted requests against the sorted-array-with-updates
+    oracle, in arrival order.
+
+    Per-key ordering in the serve path equals arrival order (stable
+    routing + kind-homogeneous FIFO windows), so applying admitted
+    updates in request order and checking each probe against the
+    oracle's state at that point is exact.  Rejected updates were never
+    applied (admission is whole-request), so the oracle skips them too.
+    """
+    oracle = SortedArrayOracle(base_keys)
+    for request, outcome in zip(requests, report.outcomes):
+        if not outcome.admitted:
+            continue
+        if request.kind == "update":
+            assert request.values is not None
+            if outcome.positions is None or not np.array_equal(
+                outcome.positions, request.values
+            ):
+                raise SimulationError(
+                    f"update request {request.request_id} was not "
+                    "acknowledged with its row ids"
+                )
+            oracle.apply(request.keys, request.values)
+        else:
+            expected = oracle.lookup(request.keys)
+            if outcome.positions is None or not np.array_equal(
+                outcome.positions, expected
+            ):
+                raise SimulationError(
+                    "served positions diverge from the update oracle "
+                    f"for request {request.request_id}"
+                )
+
+
+def _updates_block(executor, plan, replicated: bool) -> Dict[str, object]:
+    """The per-row ``updates`` payload block (zeros on read-only runs)."""
+    compactions = list(getattr(executor, "compactions", []))
+    by_strategy: Dict[str, int] = {}
+    for event in compactions:
+        strategy = str(event["strategy"])
+        by_strategy[strategy] = by_strategy.get(strategy, 0) + 1
+    depths: Dict[str, int] = {}
+    if replicated:
+        for shard_id in range(plan.num_shards):
+            for replica in plan.replicas(shard_id):
+                depths[f"{shard_id}:{replica.replica_id}"] = (
+                    replica.shard.delta.num_tuples
+                )
+    else:
+        for shard in plan.shards:
+            depths[f"{shard.shard_id}:-1"] = shard.delta.num_tuples
+    return {
+        "update_windows": getattr(executor, "update_windows", 0),
+        "update_tuples": getattr(executor, "update_tuples", 0),
+        "delta_depth": depths,
+        "delta_peak": getattr(executor, "delta_peak", 0),
+        "read_amplification_peak": round(
+            getattr(executor, "read_amplification_peak", 0.0), 6
+        ),
+        "compactions": compactions,
+        "compactions_by_strategy": dict(sorted(by_strategy.items())),
+        "compactions_completed": getattr(
+            executor, "compactions_completed", 0
+        ),
+    }
+
+
 def run_sweep_point(
     relation,
     probes,
@@ -176,6 +250,8 @@ def run_sweep_point(
     replicas: int = 1,
     replica_index_classes: Optional[Sequence[Type]] = None,
     chaos_text: str = "",
+    update_fraction: float = 0.0,
+    seed: int = 42,
 ) -> dict:
     """Serve one (shards, window, skew) configuration; returns its row.
 
@@ -184,11 +260,17 @@ def run_sweep_point(
     ``degraded`` block.  ``replicas>1`` (or any chaos schedule) serves
     through :class:`ReplicatedShardExecutor`; ``chaos_text`` carries a
     ``repro-chaos/1`` schedule as JSON text so sweep tasks stay plain
-    picklable tuples.
+    picklable tuples.  ``update_fraction > 0`` interleaves update
+    requests into the stream (forcing the replicated executor, which
+    owns compaction scheduling) and swaps the ground-truth check for
+    the sorted-array-with-updates oracle.
     """
     window_bytes = window_kib * KIB
-    replicated = replicas > 1 or bool(chaos_text) or bool(
-        replica_index_classes
+    replicated = (
+        replicas > 1
+        or bool(chaos_text)
+        or bool(replica_index_classes)
+        or update_fraction > 0.0
     )
     if replicated:
         index_classes = (
@@ -229,20 +311,48 @@ def run_sweep_point(
         plan, max(1, window_bytes // KEY_BYTES), request_tuples, spec
     )
     num_requests = len(probes.keys) // request_tuples
-    requests = [
-        ProbeRequest(
-            request_id=i,
-            keys=probes.keys[i * request_tuples : (i + 1) * request_tuples],
-            arrival=i * interval,
+    if update_fraction > 0.0:
+        base_keys = relation.column.key_at(
+            np.arange(relation.num_tuples, dtype=np.int64)
         )
-        for i in range(num_requests)
-    ]
-    report = service.run(requests)
-    _check_against_oracle(report, requests, probes.expected_positions)
+        stream = make_update_stream(
+            base_keys,
+            probes.keys,
+            num_requests,
+            request_tuples,
+            update_fraction,
+            seed,
+        )
+        requests = [
+            ProbeRequest(
+                request_id=i,
+                keys=stream.keys[i],
+                arrival=i * interval,
+                kind=stream.kinds[i],
+                values=stream.values[i],
+            )
+            for i in range(num_requests)
+        ]
+        report = service.run(requests)
+        _check_mixed_against_oracle(report, requests, base_keys)
+    else:
+        requests = [
+            ProbeRequest(
+                request_id=i,
+                keys=probes.keys[
+                    i * request_tuples : (i + 1) * request_tuples
+                ],
+                arrival=i * interval,
+            )
+            for i in range(num_requests)
+        ]
+        report = service.run(requests)
+        _check_against_oracle(report, requests, probes.expected_positions)
     return {
         "shards": num_shards,
         "window_kib": window_kib,
         "zipf_theta": zipf_theta,
+        "update_fraction": update_fraction,
         "replicas": replicas if replicated else 1,
         "requests": num_requests,
         "admitted": report.admitted_requests,
@@ -259,16 +369,18 @@ def run_sweep_point(
         },
         "failed_shards": executor.failed_shards,
         "degraded": _degraded_block(executor),
+        "updates": _updates_block(executor, plan, replicated),
         "per_shard": _per_shard_metrics(report),
     }
 
 
 #: One serve sweep point as a picklable task for the resilient pool:
 #: (num_shards, window_kib, zipf_theta, index_name, r_tuples, requests,
-#: request_tuples, seed, spec, replicas, replica_indexes, chaos_text).
+#: request_tuples, seed, spec, replicas, replica_indexes, chaos_text,
+#: update_fraction).
 ServeTask = Tuple[
     int, int, float, str, int, int, int, int, SystemSpec,
-    int, Tuple[str, ...], str,
+    int, Tuple[str, ...], str, float,
 ]
 
 
@@ -276,7 +388,10 @@ def serve_task_label(task: ServeTask) -> str:
     """Short human/fault-matchable name for one serve sweep point."""
     num_shards, window_kib, theta, index = task[:4]
     replicas = task[9]
+    update_fraction = task[12]
     suffix = f":r{replicas}" if replicas > 1 else ""
+    if update_fraction > 0.0:
+        suffix += f":u{update_fraction}"
     return f"serve:{index}:{num_shards}s:{window_kib}k:z{theta}{suffix}"
 
 
@@ -325,6 +440,7 @@ def run_serve_point_task(task: ServeTask) -> dict:
         replicas,
         replica_indexes,
         chaos_text,
+        update_fraction,
     ) = task
     faults.check("point", serve_task_label(task))
     relation, probes = _serve_workload(
@@ -346,6 +462,8 @@ def run_serve_point_task(task: ServeTask) -> dict:
             else None
         ),
         chaos_text=chaos_text,
+        update_fraction=update_fraction,
+        seed=seed,
     )
 
 
@@ -363,6 +481,7 @@ def run_serve_bench(
     replicas: int = 1,
     replica_indexes: Optional[Sequence[str]] = None,
     chaos_schedule: Optional[str] = None,
+    update_fractions: Sequence[float] = DEFAULT_UPDATE_FRACTIONS,
 ) -> dict:
     """Run the full sweep; returns the JSON-ready payload.
 
@@ -376,7 +495,14 @@ def run_serve_bench(
     ``replicas``/``replica_indexes`` serve each point through the
     replicated executor; ``chaos_schedule`` (a path) replays the same
     scripted fault schedule inside every sweep point.
+    ``update_fractions`` adds the mixed read/write axis: each fraction
+    re-runs the sweep with that share of requests as updates.
     """
+    for fraction in update_fractions:
+        if fraction < 0.0 or fraction > 1.0:
+            raise ConfigurationError(
+                f"update fractions must be in [0, 1], got {fraction}"
+            )
     if index not in INDEX_BY_NAME:
         raise ConfigurationError(
             f"unknown index {index!r}; choose from "
@@ -425,7 +551,9 @@ def run_serve_bench(
             replicas,
             names,
             chaos_text,
+            float(fraction),
         )
+        for fraction in update_fractions
         for theta in zipf_thetas
         for num_shards in shards
         for kib in window_kib
@@ -442,6 +570,7 @@ def run_serve_bench(
         "replicas": replicas,
         "replica_indexes": list(names) if names else [index] * replicas,
         "chaos_schedule": chaos_schedule or "",
+        "update_fractions": [float(f) for f in update_fractions],
         "r_tuples": r_tuples,
         "requests": requests,
         "request_tuples": request_tuples,
@@ -468,6 +597,7 @@ def main(
     replicas: int = 1,
     replica_indexes: Optional[Sequence[str]] = None,
     chaos_schedule: Optional[str] = None,
+    update_fractions: Sequence[float] = DEFAULT_UPDATE_FRACTIONS,
 ) -> dict:
     """CLI entry point: run the sweep, print a summary, optionally write."""
     payload = run_serve_bench(
@@ -480,18 +610,25 @@ def main(
         replicas=replicas,
         replica_indexes=replica_indexes,
         chaos_schedule=chaos_schedule,
+        update_fractions=update_fractions,
     )
     for row in payload["sweeps"]:
         degraded = row["degraded"]
+        updates = row["updates"]
         extras = ""
         if degraded["failovers"] or degraded["recoveries"]:
             extras = (
                 f", failovers {degraded['failovers']}, "
                 f"recoveries {degraded['recoveries']}"
             )
+        if row["update_fraction"] > 0.0:
+            extras += (
+                f", updates {updates['update_tuples']}, "
+                f"compactions {len(updates['compactions'])}"
+            )
         print(
             f"shards={row['shards']} window={row['window_kib']}KiB "
-            f"theta={row['zipf_theta']}: "
+            f"theta={row['zipf_theta']} uf={row['update_fraction']}: "
             f"{row['throughput_lookups_per_second']:.0f} lookups/s, "
             f"p99 {row['latency_seconds']['p99'] * 1e6:.1f}us, "
             f"admitted {row['admitted']}/{row['requests']}{extras}"

@@ -32,21 +32,32 @@ is the invariance the chaos harness checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .. import obs
 from ..config import SimulationConfig
-from ..errors import SweepExecutionError
+from ..errors import ConfigurationError, SweepExecutionError
 from ..hardware.counters import PerfCounters
 from ..hardware.spec import SystemSpec, V100_NVLINK2
 from ..perf.model import CostModel
 from ..resilience import faults
 from ..resilience.retry import RetryPolicy, active_policy, with_retry
+from ..units import KEY_BYTES
 from .batcher import Window
+from .delta import (
+    DEFAULT_COMPACTION_POLICY,
+    CompactionPolicy,
+    read_amplification,
+)
 from .health import DEFAULT_FAILURE_THRESHOLD, HealthTracker, PROBATION
-from .recovery import RebuildCost, price_rebuild
+from .recovery import (
+    CompactionCost,
+    RebuildCost,
+    price_compaction,
+    price_rebuild,
+)
 from .replica import ReplicatedPlan
 from .shard import CALIBRATION_SIM, Shard, ShardPlan
 
@@ -124,6 +135,40 @@ def _fallback_probe(fallback: Shard, window: Window) -> np.ndarray:
     return positions
 
 
+def _update_window_values(window: Window) -> np.ndarray:
+    """The row ids an update window writes; raises on a probe window."""
+    if window.kind != "update" or window.values is None:
+        raise ConfigurationError(
+            f"window of kind {window.kind!r} is not an executable update"
+        )
+    if len(window.values) != len(window.keys):
+        raise ConfigurationError(
+            f"update window carries {len(window.keys)} keys but "
+            f"{len(window.values)} values"
+        )
+    return window.values
+
+
+def _update_counters(
+    window_tuples: int, delta_tuples_after: int
+) -> PerfCounters:
+    """Replay counters of absorbing one update window into a delta.
+
+    The window ships its ``(key, row id)`` pairs over the interconnect
+    (sequential scan) and merges them into the sorted buffer -- a pass
+    over the post-merge delta.  Pure in (window width, resulting delta
+    depth), so update timelines replay bit-identically.
+    """
+    width = float(window_tuples)
+    depth = float(max(0, delta_tuples_after))
+    return PerfCounters(
+        scan_bytes=width * 2 * KEY_BYTES,
+        memory_accesses=width + depth,
+        remote_accesses=width,
+        simt_instructions=width + depth,
+    )
+
+
 @dataclass
 class ShardExecutor:
     """Executes windows against a :class:`ShardPlan` with a fallback."""
@@ -142,6 +187,8 @@ class ShardExecutor:
         self._cost = CostModel(self.spec)
         self._failed = [False] * self.plan.num_shards
         self.fallback_windows = 0
+        self.update_windows = 0
+        self.update_tuples = 0
 
     def shard_failed(self, shard_id: int) -> bool:
         """True once ``shard_id`` exhausted its retry budget."""
@@ -159,6 +206,8 @@ class ShardExecutor:
         drives both executors identically).
         """
         del now
+        if window.kind == "update":
+            return self._execute_update(window)
         shard = self.plan.shards[window.shard_id]
         delays: List[float] = []
         degraded = self._failed[window.shard_id]
@@ -168,6 +217,7 @@ class ShardExecutor:
             return shard.probe(window.keys)
 
         positions: Optional[np.ndarray] = None
+        assert self.policy is not None  # set in __post_init__
         if not degraded:
             try:
                 positions = with_retry(
@@ -192,6 +242,12 @@ class ShardExecutor:
             + KERNELS_PER_WINDOW * self._cost.constants.kernel_launch_seconds
             + sum(delays)
         )
+        delta_counters = active.delta.read_counters(len(window))
+        if delta_counters is not None:
+            # Reconciling against a non-empty delta is a serial extra
+            # stage: the probe result must exist before it is merged.
+            service += self._cost.probe_stage_time(delta_counters)
+            counters.add(delta_counters)
         if obs.enabled():
             if delays:
                 obs.add(
@@ -206,6 +262,44 @@ class ShardExecutor:
             counters=counters,
             retries=len(delays),
             degraded=degraded,
+        )
+
+    def _execute_update(self, window: Window) -> WindowResult:
+        """Absorb one update window into the shard's delta tier.
+
+        Updates are host-authoritative: the window applies to the
+        shard *and* the fallback copy unconditionally (no fault site,
+        no retries), so degraded probe traffic keeps seeing every
+        write.  The unreplicated executor never compacts -- compaction
+        needs the simulated-clock event scheduling only the replicated
+        executor has -- so its deltas persist for the run, still
+        correct through the probe-side merge.
+        """
+        values = _update_window_values(window)
+        shard = self.plan.shards[window.shard_id]
+        shard.apply_updates(window.keys, values)
+        self.fallback.apply_updates(window.keys, values)
+        self.update_windows += 1
+        self.update_tuples += len(window)
+        counters = _update_counters(len(window), shard.delta.num_tuples)
+        service = (
+            self._cost.probe_stage_time(counters)
+            + KERNELS_PER_WINDOW * self._cost.constants.kernel_launch_seconds
+        )
+        if obs.enabled():
+            obs.add(
+                "serve.delta.applied", len(window), shard=window.shard_id
+            )
+            obs.observe(
+                "serve.delta.depth",
+                shard.delta.num_tuples,
+                shard=window.shard_id,
+            )
+        return WindowResult(
+            window=window,
+            positions=values.copy(),
+            service_seconds=service,
+            counters=counters,
         )
 
 
@@ -226,6 +320,7 @@ class ReplicatedShardExecutor:
     policy: Optional[RetryPolicy] = None
     failure_threshold: int = DEFAULT_FAILURE_THRESHOLD
     chaos: Optional[object] = None
+    compaction_policy: CompactionPolicy = DEFAULT_COMPACTION_POLICY
     _cost: CostModel = field(init=False)
 
     def __post_init__(self) -> None:
@@ -237,21 +332,38 @@ class ReplicatedShardExecutor:
             self.plan.replicas_per_shard,
             failure_threshold=self.failure_threshold,
         )
-        #: Simulated window price per (shard, replica, window tuples).
+        #: Simulated *base* window price per (shard, replica, window
+        #: tuples); the delta reconciliation stage is priced fresh on
+        #: top because delta depth changes with every update window.
         self._price_memo: Dict[Tuple[int, int, int], float] = {}
         self._fallback_price_memo: Dict[int, float] = {}
-        #: Rebuild price per (shard, replica): the replica's slice and
-        #: index type never change, so one pricing per slot suffices.
+        #: Rebuild price per (shard, replica): invalidated only by a
+        #: compaction, which changes the slice being rebuilt.
         self._rebuild_memo: Dict[Tuple[int, int], RebuildCost] = {}
-        #: Newly scheduled rebuild completions for the service to turn
-        #: into simulated-clock events: (ready_at, (shard, replica)).
-        self._scheduled: List[Tuple[float, Tuple[int, int]]] = []
+        #: Newly scheduled simulated-clock completions for the service:
+        #: (ready_at, key) where key is ``(shard, replica)`` for a
+        #: rebuild or ``("compact", shard, replica)`` for a compaction.
+        self._scheduled: List[Tuple[float, Tuple[Any, ...]]] = []
         #: Monotonic id of every executed window, chaos's batch handle.
         self._window_seq = 0
+        #: In-flight compactions: (shard, replica) -> completion time.
+        #: A compacting replica is unroutable until its merge lands.
+        self._compacting: Dict[Tuple[int, int], float] = {}
+        #: Simulated seconds each replica has spent reconciling probe
+        #: windows against its delta -- the "rent" the priced
+        #: compaction trigger weighs against the merge cost.
+        self._delta_read_seconds: Dict[Tuple[int, int], float] = {}
         self.fallback_windows = 0
         self.failovers = 0
         self.recoveries = 0
         self.deferrals = 0
+        self.update_windows = 0
+        self.update_tuples = 0
+        #: Scheduled compaction events, in schedule order (payload rows).
+        self.compactions: List[Dict[str, object]] = []
+        self.compactions_completed = 0
+        self.delta_peak = 0
+        self.read_amplification_peak = 0.0
 
     # ------------------------------------------------------------------
     # Pricing and routing.
@@ -260,10 +372,16 @@ class ReplicatedShardExecutor:
     def window_price(
         self, shard_id: int, replica_id: int, window_tuples: int
     ) -> float:
-        """Simulated seconds for one replica to serve one window."""
+        """Simulated seconds for one replica to serve one window.
+
+        The memoized base price plus a fresh delta-reconciliation
+        stage: a replica carrying a deep delta is genuinely more
+        expensive to route to, which is how reads feel the pressure
+        that the compaction policy relieves.
+        """
         key = (shard_id, replica_id, window_tuples)
+        shard = self.plan.replica(shard_id, replica_id).shard
         if key not in self._price_memo:
-            shard = self.plan.replica(shard_id, replica_id).shard
             counters = shard.window_counters(
                 window_tuples, self.spec, self.sim
             )
@@ -272,7 +390,9 @@ class ReplicatedShardExecutor:
                 + KERNELS_PER_WINDOW
                 * self._cost.constants.kernel_launch_seconds
             )
-        return self._price_memo[key]
+        return self._price_memo[key] + self._delta_stage_seconds(
+            shard, window_tuples
+        )
 
     def fallback_price(self, window_tuples: int) -> float:
         if window_tuples not in self._fallback_price_memo:
@@ -284,7 +404,18 @@ class ReplicatedShardExecutor:
                 + KERNELS_PER_WINDOW
                 * self._cost.constants.kernel_launch_seconds
             )
-        return self._fallback_price_memo[window_tuples]
+        return self._fallback_price_memo[
+            window_tuples
+        ] + self._delta_stage_seconds(self.fallback, window_tuples)
+
+    def _delta_stage_seconds(
+        self, shard: Shard, window_tuples: int
+    ) -> float:
+        """Priced delta-reconciliation stage of one window (0 if empty)."""
+        counters = shard.delta.read_counters(window_tuples)
+        if counters is None:
+            return 0.0
+        return self._cost.probe_stage_time(counters)
 
     def rebuild_cost(self, shard_id: int, replica_id: int) -> RebuildCost:
         key = (shard_id, replica_id)
@@ -306,6 +437,9 @@ class ReplicatedShardExecutor:
         ranked: List[Tuple[int, float, int]] = []
         for replica in self.plan.replicas(shard_id):
             if self.health.is_dead(shard_id, replica.replica_id):
+                continue
+            if (shard_id, replica.replica_id) in self._compacting:
+                # Mid-merge: the replica's index is being rewritten.
                 continue
             tier = (
                 0
@@ -346,18 +480,22 @@ class ReplicatedShardExecutor:
                 replica=replica_id,
             )
 
-    def take_scheduled(self) -> List[Tuple[float, Tuple[int, int]]]:
-        """Drain rebuild completions scheduled since the last call."""
+    def take_scheduled(self) -> List[Tuple[float, Tuple[Any, ...]]]:
+        """Drain completions (rebuilds, compactions) since the last call."""
         scheduled = self._scheduled
         self._scheduled = []
         return scheduled
 
-    def handle_recovery(self, key: Tuple[int, int], now: float) -> bool:
-        """A rebuild completion event fired: the replica rejoins.
+    def handle_recovery(self, key: Tuple[Any, ...], now: float) -> bool:
+        """A scheduled completion event fired.
 
-        Returns True when the replica actually transitioned (a stale
-        completion for a replica that was never dead is a no-op).
+        ``(shard, replica)`` keys are rebuild completions (the replica
+        rejoins); ``("compact", shard, replica)`` keys are compaction
+        completions (the merge lands).  Returns True when state
+        actually transitioned (a stale completion is a no-op).
         """
+        if len(key) == 3 and key[0] == "compact":
+            return self._complete_compaction(int(key[1]), int(key[2]), now)
         shard_id, replica_id = key
         if not self.health.complete_rebuild(shard_id, replica_id, now):
             return False
@@ -366,6 +504,127 @@ class ReplicatedShardExecutor:
             self.chaos.on_restart(shard_id, replica_id, now)  # type: ignore[attr-defined]
         if obs.enabled():
             obs.add("serve.recoveries", shard=shard_id, replica=replica_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Compaction: the priced fold of a replica's delta into its base.
+    # ------------------------------------------------------------------
+
+    def _evaluate_compaction(self, shard_id: int, now: float) -> None:
+        """Schedule compactions whose trigger fired, rolling per shard.
+
+        At most all-but-one *routable* replica of a shard compacts at a
+        time (replicas have identical deltas, so triggers fire together;
+        rolling keeps the shard serving without degrading).  A
+        single-replica shard compacts anyway -- its windows then face
+        the genuine defer-or-fallback cost decision.  Dead replicas
+        compact freely: the merge is a host-side content operation.
+        """
+        replicas = list(self.plan.replicas(shard_id))
+        available = sum(
+            1
+            for replica in replicas
+            if not self.health.is_dead(shard_id, replica.replica_id)
+            and (shard_id, replica.replica_id) not in self._compacting
+        )
+        for replica in replicas:
+            key = (shard_id, replica.replica_id)
+            if key in self._compacting:
+                continue
+            shard = replica.shard
+            depth = shard.delta.num_tuples
+            if depth == 0:
+                continue
+            amp = read_amplification(depth, shard.index.height)
+            self.delta_peak = max(self.delta_peak, depth)
+            self.read_amplification_peak = max(
+                self.read_amplification_peak, amp
+            )
+            cost = price_compaction(
+                shard, depth, self.spec, self._cost.constants
+            )
+            if not self.compaction_policy.should_compact(
+                depth,
+                amp,
+                self._delta_read_seconds.get(key, 0.0),
+                cost.seconds,
+            ):
+                continue
+            routable = not self.health.is_dead(shard_id, replica.replica_id)
+            if routable and available <= 1 and len(replicas) > 1:
+                continue
+            self._schedule_compaction(key, cost, depth, amp, now)
+            if routable:
+                available -= 1
+
+    def _schedule_compaction(
+        self,
+        key: Tuple[int, int],
+        cost: CompactionCost,
+        depth: int,
+        amp: float,
+        now: float,
+    ) -> None:
+        shard_id, replica_id = key
+        ready_at = now + cost.seconds
+        self._compacting[key] = ready_at
+        self._scheduled.append((ready_at, ("compact", shard_id, replica_id)))
+        self.compactions.append(
+            {
+                "shard": shard_id,
+                "replica": replica_id,
+                "index": self.plan.replica(shard_id, replica_id).index_name,
+                "strategy": cost.strategy,
+                "delta_tuples": depth,
+                "read_amplification": round(amp, 6),
+                "scheduled_at": round(now, 9),
+                "seconds": round(cost.seconds, 9),
+            }
+        )
+        self.health.note(
+            now, shard_id, replica_id, "compaction_scheduled", cost.describe()
+        )
+        if obs.enabled():
+            obs.add(
+                "serve.compaction.scheduled",
+                shard=shard_id,
+                replica=replica_id,
+            )
+            obs.observe(
+                "serve.compaction.seconds",
+                cost.seconds,
+                shard=shard_id,
+                replica=replica_id,
+            )
+
+    def _complete_compaction(
+        self, shard_id: int, replica_id: int, now: float
+    ) -> bool:
+        """A compaction event fired: fold the delta, reprice the slot."""
+        key = (shard_id, replica_id)
+        if self._compacting.pop(key, None) is None:
+            return False
+        shard = self.plan.replica(shard_id, replica_id).shard
+        merged = shard.compact()
+        # The base slice changed: stale prices must not serve routing.
+        self._price_memo = {
+            memo_key: price
+            for memo_key, price in self._price_memo.items()
+            if memo_key[:2] != key
+        }
+        self._rebuild_memo.pop(key, None)
+        self._delta_read_seconds.pop(key, None)
+        self.compactions_completed += 1
+        self.health.note(
+            now, shard_id, replica_id, "compaction_complete",
+            f"merged={merged}",
+        )
+        if obs.enabled():
+            obs.add(
+                "serve.compaction.completed",
+                shard=shard_id,
+                replica=replica_id,
+            )
         return True
 
     @property
@@ -401,7 +660,12 @@ class ReplicatedShardExecutor:
         candidate left, the failover-vs-wait decision runs: defer to
         the earliest rebuild when waiting is priced cheaper than the
         fallback probe, else degrade.
+
+        Update windows take their own path: host-authoritative delta
+        application to every replica, no routing, no fault injection.
         """
+        if window.kind == "update":
+            return self._execute_update(window, now)
         seq = self._window_seq
         self._window_seq += 1
         shard_id = window.shard_id
@@ -409,6 +673,7 @@ class ReplicatedShardExecutor:
         failovers = 0
         positions: Optional[np.ndarray] = None
         served_by = -1
+        assert self.policy is not None  # set in __post_init__
 
         for replica_id in self.route(shard_id, len(window)):
             shard = self.plan.replica(shard_id, replica_id).shard
@@ -479,6 +744,19 @@ class ReplicatedShardExecutor:
             + KERNELS_PER_WINDOW * self._cost.constants.kernel_launch_seconds
             + sum(delays)
         )
+        delta_counters = active.delta.read_counters(len(window))
+        if delta_counters is not None:
+            # Serial reconciliation stage; its seconds are the "rent"
+            # the compaction policy's priced trigger accumulates.
+            delta_seconds = self._cost.probe_stage_time(delta_counters)
+            service += delta_seconds
+            counters.add(delta_counters)
+            if not degraded:
+                key = (shard_id, served_by)
+                self._delta_read_seconds[key] = (
+                    self._delta_read_seconds.get(key, 0.0) + delta_seconds
+                )
+            self._evaluate_compaction(shard_id, now)
         if obs.enabled():
             if delays:
                 obs.add("serve.retries", len(delays), shard=shard_id)
@@ -495,23 +773,74 @@ class ReplicatedShardExecutor:
             failovers=failovers,
         )
 
+    def _execute_update(
+        self, window: Window, now: float
+    ) -> WindowResult:
+        """Absorb one update window into every replica's delta tier.
+
+        Updates are host-authoritative: the buffered pairs live in host
+        memory, so they apply to every replica (dead or alive -- a dead
+        replica's rebuild starts from current host state) and to the
+        fallback, unconditionally.  No chaos check, no fault site, no
+        retries: a kill schedule stretches read latency, never loses a
+        write, which is what keeps the PR-7 invariance gate meaningful
+        under mixed traffic.
+        """
+        self._window_seq += 1
+        values = _update_window_values(window)
+        shard_id = window.shard_id
+        depth = 0
+        for replica in self.plan.replicas(shard_id):
+            replica.shard.apply_updates(window.keys, values)
+            depth = replica.shard.delta.num_tuples
+        self.fallback.apply_updates(window.keys, values)
+        self.update_windows += 1
+        self.update_tuples += len(window)
+        self.delta_peak = max(self.delta_peak, depth)
+        counters = _update_counters(len(window), depth)
+        service = (
+            self._cost.probe_stage_time(counters)
+            + KERNELS_PER_WINDOW * self._cost.constants.kernel_launch_seconds
+        )
+        if obs.enabled():
+            obs.add("serve.delta.applied", len(window), shard=shard_id)
+            obs.observe("serve.delta.depth", depth, shard=shard_id)
+        self._evaluate_compaction(shard_id, now)
+        return WindowResult(
+            window=window,
+            positions=values.copy(),
+            service_seconds=service,
+            counters=counters,
+        )
+
     def _maybe_defer(
         self, window: Window, now: float, seq: int
     ) -> Optional[WindowDeferred]:
-        """The failover-vs-wait decision once every replica is dead.
+        """The failover-vs-wait decision once no replica is routable.
 
-        Waiting wins when (time until the earliest rebuild completes)
-        plus (the rebuilt replica's window price) undercuts the
-        fallback probe -- both sides in the same simulated currency.
-        Deferrals per window are capped so fault schedules that keep
-        re-killing the recovering replica still terminate.
+        Waiting wins when (time until the earliest rebuild *or*
+        compaction completes) plus (that replica's window price)
+        undercuts the fallback probe -- both sides in the same
+        simulated currency.  Deferrals per window are capped so fault
+        schedules that keep re-killing the recovering replica still
+        terminate.
         """
         if window.deferrals >= MAX_WINDOW_DEFERRALS:
             return None
+        candidates: List[Tuple[float, int]] = []
         pending = self.health.next_rebuild_ready(window.shard_id)
-        if pending is None:
+        if pending is not None:
+            candidates.append(pending)
+        for (shard_id, replica_id), compact_ready in sorted(
+            self._compacting.items()
+        ):
+            if shard_id == window.shard_id and not self.health.is_dead(
+                shard_id, replica_id
+            ):
+                candidates.append((compact_ready, replica_id))
+        if not candidates:
             return None
-        ready_at, replica_id = pending
+        ready_at, replica_id = min(candidates)
         wait = max(0.0, ready_at - now)
         rebuilt_price = self.window_price(
             window.shard_id, replica_id, len(window)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from ..errors import ConfigurationError
 from ..hardware.spec import SystemSpec, V100_NVLINK2
 from ..perf.model import CalibrationConstants, CostModel, DEFAULT_CALIBRATION
 from ..units import KEY_BYTES
@@ -109,4 +110,93 @@ def price_rebuild(
     )
     return RebuildCost(
         seconds=sum(breakdown.values()), kind=kind, breakdown=breakdown
+    )
+
+
+#: Compaction strategy per index name -- the per-type asymmetry the
+#: paper calls out ("Harmonia/B+tree if the index must support inserts
+#: and updates"): trees absorb delta tuples through traversal +
+#: leaf-write, the RadixSpline must retrain over the merged keys, and
+#: implicit-array structures (binary search, FAST's cache-line layout)
+#: rebuild outright.  Unknown types rebuild (conservative).
+COMPACTION_STRATEGY_BY_INDEX: Dict[str, str] = {
+    "binary search": "rebuild",
+    "B+tree": "absorb",
+    "Harmonia": "absorb",
+    "FAST tree": "rebuild",
+    "RadixSpline": "retrain",
+}
+
+
+@dataclass(frozen=True)
+class CompactionCost:
+    """Priced fold of one replica's delta tier into its base index.
+
+    Same shape and currency as :class:`RebuildCost`, so the compaction
+    scheduler can reuse the recovery event machinery unchanged.
+    """
+
+    seconds: float
+    strategy: str
+    breakdown: Dict[str, float]
+
+    def describe(self) -> str:
+        return f"{self.strategy}:{self.seconds:.9f}s"
+
+
+def price_compaction(
+    shard: Shard,
+    delta_tuples: int,
+    spec: SystemSpec = V100_NVLINK2,
+    constants: CalibrationConstants = DEFAULT_CALIBRATION,
+) -> CompactionCost:
+    """Simulated seconds to merge ``delta_tuples`` into ``shard``'s index.
+
+    Pure in (shard size, index type, delta size, machine spec), so
+    compaction timelines replay bit-identically like rebuilds do.
+
+    * ``absorb`` (B+tree, Harmonia): one traversal per delta tuple to
+      the target leaf plus the leaf write -- random device accesses
+      scaling with tree height, no touch of the base slice.
+    * ``retrain`` (RadixSpline): the merged key run must be re-fit; two
+      passes over ``n + d`` keys plus writing the model arrays.
+    * ``rebuild`` (binary search, FAST, unknown): merge-write the new
+      sorted slice and rebuild the structure over ``n + d`` tuples.
+    """
+    if delta_tuples <= 0:
+        raise ConfigurationError(
+            f"compaction needs a non-empty delta, got {delta_tuples} tuples"
+        )
+    cost = CostModel(spec, constants)
+    n = shard.num_tuples
+    d = int(delta_tuples)
+    merged_bytes = float((n + d) * KEY_BYTES)
+    strategy = COMPACTION_STRATEGY_BY_INDEX.get(shard.index.name, "rebuild")
+    breakdown: Dict[str, float] = {}
+    if strategy == "absorb":
+        height = float(max(1, shard.index.height))
+        breakdown["traverse"] = cost.remote_random_time(d * (height + 1.0))
+        breakdown["leaf_write"] = cost.gpu_memory_time(
+            float(d * 2 * KEY_BYTES), random=True
+        )
+        breakdown["rebalance"] = cost.compute_time(float(d) * height)
+    elif strategy == "retrain":
+        breakdown["scan"] = 2.0 * cost.scan_time(merged_bytes)
+        breakdown["write_structure"] = cost.gpu_memory_time(
+            float(shard.index.footprint_bytes)
+        )
+        breakdown["train"] = cost.compute_time(float(2 * (n + d)))
+    else:
+        breakdown["merge_scan"] = cost.scan_time(merged_bytes)
+        breakdown["write_structure"] = cost.gpu_memory_time(
+            merged_bytes + float(shard.index.footprint_bytes)
+        )
+        breakdown["build"] = cost.compute_time(float(n + d))
+    breakdown["launches"] = (
+        REBUILD_KERNELS * constants.kernel_launch_seconds
+    )
+    return CompactionCost(
+        seconds=sum(breakdown.values()),
+        strategy=strategy,
+        breakdown=breakdown,
     )

@@ -21,7 +21,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -31,8 +31,19 @@ from ..hardware.counters import PerfCounters
 from .admission import AdmissionController
 from .batcher import ShardBatcher, Window
 from .clock import SimulatedClock
-from .executor import ShardExecutor, WindowDeferred, WindowResult
+from .executor import (
+    ReplicatedShardExecutor,
+    ShardExecutor,
+    WindowDeferred,
+    WindowResult,
+)
+from .replica import ReplicatedPlan
 from .shard import ShardPlan
+
+#: Either serving topology: the service drives both through the same
+#: ``split``/``execute`` surface (see the duck-typed recovery hooks).
+PlanLike = Union[ShardPlan, ReplicatedPlan]
+ExecutorLike = Union[ShardExecutor, ReplicatedShardExecutor]
 
 #: Heap ranks: recoveries before completions before arrivals at equal
 #: timestamps.  A replica rejoining at time t must be visible to a
@@ -46,9 +57,9 @@ _ARRIVAL = 1
 
 @dataclass(frozen=True)
 class _Recovery:
-    """Heap payload: a scheduled rebuild completes; replica rejoins."""
+    """Heap payload: a scheduled rebuild or compaction completes."""
 
-    key: Tuple[int, int]
+    key: Tuple[Any, ...]
 
 
 @dataclass(frozen=True)
@@ -60,11 +71,19 @@ class _ShardKick:
 
 @dataclass(frozen=True)
 class ProbeRequest:
-    """One client request: a batch of probe keys at an arrival time."""
+    """One client request: a batch of keys at an arrival time.
+
+    ``kind`` is ``"probe"`` (read the keys' positions) or ``"update"``
+    (write: ``values`` carries the global row id each key takes, and
+    the served positions echo those row ids back as the write
+    acknowledgement).
+    """
 
     request_id: int
     keys: np.ndarray
     arrival: float
+    kind: str = "probe"
+    values: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if len(self.keys) == 0:
@@ -74,6 +93,20 @@ class ProbeRequest:
         if self.arrival < 0:
             raise ConfigurationError(
                 f"request {self.request_id} arrives before time zero"
+            )
+        if self.kind not in ("probe", "update"):
+            raise ConfigurationError(
+                f"request {self.request_id} has unknown kind {self.kind!r}"
+            )
+        if self.kind == "update":
+            if self.values is None or len(self.values) != len(self.keys):
+                raise ConfigurationError(
+                    f"update request {self.request_id} needs one value "
+                    "per key"
+                )
+        elif self.values is not None:
+            raise ConfigurationError(
+                f"probe request {self.request_id} must not carry values"
             )
 
 
@@ -106,6 +139,8 @@ class ShardStats:
     full_windows: int = 0
     lookups: int = 0
     matches: int = 0
+    update_windows: int = 0
+    update_tuples: int = 0
     retries: int = 0
     degraded_windows: int = 0
     failovers: int = 0
@@ -156,8 +191,8 @@ class ShardedIndexService:
 
     def __init__(
         self,
-        plan: ShardPlan,
-        executor: ShardExecutor,
+        plan: PlanLike,
+        executor: ExecutorLike,
         window_bytes: int,
         max_backlog_tuples: int,
     ):
@@ -182,6 +217,10 @@ class ShardedIndexService:
         self._take_scheduled = getattr(executor, "take_scheduled", None)
         self._handle_recovery = getattr(executor, "handle_recovery", None)
         self._stats: Dict[int, ShardStats] = {}
+        #: Global-stream row-id values of admitted update tuples
+        #: (-1 for probe tuples), indexed by stream position; grown
+        #: geometrically.  Windows slice it by their stream indices.
+        self._stream_values = np.full(0, -1, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Event loop.
@@ -262,13 +301,19 @@ class ShardedIndexService:
                         remaining[request.request_id] = len(request.keys)
                         admitted_ids.append(request.request_id)
                         admitted_starts.append(stream_length)
+                        self._record_stream_values(stream_length, request)
                         stream_length += len(request.keys)
                         if obs.enabled():
                             obs.add("serve.requests.admitted")
                         for shard_id, keys, indices in parts:
                             self._enqueue(
                                 heap,
-                                self.batcher.push(shard_id, keys, indices),
+                                self.batcher.push(
+                                    shard_id,
+                                    keys,
+                                    indices,
+                                    kind=request.kind,
+                                ),
                             )
                     elif obs.enabled():
                         obs.add("serve.requests.rejected")
@@ -321,10 +366,29 @@ class ShardedIndexService:
         self._seq += 1
         heapq.heappush(heap, (timestamp, rank, self._seq, payload))
 
+    def _record_stream_values(
+        self, start: int, request: ProbeRequest
+    ) -> None:
+        """Land an admitted request's row-id values in the stream array."""
+        end = start + len(request.keys)
+        if end > len(self._stream_values):
+            grown = np.full(
+                max(end, 2 * max(1, len(self._stream_values))),
+                -1,
+                dtype=np.int64,
+            )
+            grown[: len(self._stream_values)] = self._stream_values
+            self._stream_values = grown
+        if request.kind == "update":
+            assert request.values is not None  # __post_init__ checked
+            self._stream_values[start:end] = request.values
+
     def _enqueue(self, heap: list, windows: List[Window]) -> None:
         """Queue closed windows; start any idle shard immediately."""
         for window in windows:
             shard_id = window.shard_id
+            if window.kind == "update" and window.values is None:
+                window.values = self._stream_values[window.indices]
             self._queues[shard_id].append((window, self.clock.now))
             if not self._busy[shard_id]:
                 self._dispatch(heap, shard_id)
@@ -385,12 +449,20 @@ class ShardedIndexService:
         window = result.window
         shard_id = window.shard_id
         shard_stats = stats[shard_id]
-        shard_stats.windows += 1
-        if window.full:
-            shard_stats.full_windows += 1
-        shard_stats.lookups += len(window)
-        matches = int(np.count_nonzero(result.positions >= 0))
-        shard_stats.matches += matches
+        is_update = window.kind == "update"
+        if is_update:
+            # Writes are tallied apart from reads: lookup/match rates
+            # (and throughput, which divides lookups) stay read-only
+            # quantities, directly comparable to a zero-update run.
+            shard_stats.update_windows += 1
+            shard_stats.update_tuples += len(window)
+        else:
+            shard_stats.windows += 1
+            if window.full:
+                shard_stats.full_windows += 1
+            shard_stats.lookups += len(window)
+            matches = int(np.count_nonzero(result.positions >= 0))
+            shard_stats.matches += matches
         shard_stats.retries += result.retries
         shard_stats.failovers += result.failovers
         if result.degraded:
@@ -403,9 +475,19 @@ class ShardedIndexService:
         # the run-total replay counters land as ``serve.<field>`` via
         # add_perf_counters, and one obs name must keep one label set.
         if obs.enabled():
-            obs.add("serve.windows", shard=shard_id)
-            obs.add("serve.window_lookups", len(window), shard=shard_id)
-            obs.add("serve.window_matches", matches, shard=shard_id)
+            if is_update:
+                obs.add("serve.update_windows", shard=shard_id)
+                obs.add(
+                    "serve.update_tuples", len(window), shard=shard_id
+                )
+            else:
+                obs.add("serve.windows", shard=shard_id)
+                obs.add(
+                    "serve.window_lookups", len(window), shard=shard_id
+                )
+                obs.add(
+                    "serve.window_matches", matches, shard=shard_id
+                )
             obs.observe("serve.queue_wait", wait, shard=shard_id)
         self.admission.drain(shard_id, len(window))
 

@@ -38,6 +38,7 @@ from ..hardware.spec import SystemSpec, V100_NVLINK2
 from ..indexes.base import Index
 from ..partition.bits import PartitionBits, choose_partition_bits
 from ..partition.radix import RadixPartitioner
+from .delta import DeltaBuffer, merge_newest_wins
 
 #: Partition fanout per shard window.  Shards serve a fraction of R, so
 #: a smaller fanout than the paper's global 2048 keeps partitions
@@ -107,6 +108,13 @@ class Shard:
         #: Reused partition-order scratch for :meth:`probe` (grows to the
         #: widest window seen; never escapes the method).
         self._ordered = np.empty(0, dtype=np.int64)
+        #: Sorted buffer of online updates, reconciled into every probe.
+        self.delta = DeltaBuffer()
+        #: After a compaction the base slice no longer maps to a dense
+        #: global range: each local position carries an explicit global
+        #: row id here.  ``None`` means the seed layout (dense
+        #: ``base_position + local``) still holds.
+        self._row_ids: Optional[np.ndarray] = None
 
     @property
     def num_tuples(self) -> int:
@@ -135,8 +143,58 @@ class Shard:
         positions = np.empty(count, dtype=np.int64)
         positions[output.source_indices] = self._ordered[:count]
         matched = positions >= 0
-        positions[matched] += self.base_position
+        if self._row_ids is None:
+            positions[matched] += self.base_position
+        else:
+            positions[matched] = self._row_ids[positions[matched]]
+        # Delta tuples are newer than any base answer: reconcile the
+        # window against the buffered updates, newest-wins.
+        self.delta.lookup_into(keys, positions)
         return positions
+
+    # ------------------------------------------------------------------
+    # Online updates (delta tier).
+    # ------------------------------------------------------------------
+
+    def apply_updates(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Absorb one update window into the shard's delta buffer."""
+        self.delta.apply(keys, values)
+
+    def compact(self) -> int:
+        """Fold the delta tier into the base index; returns merged count.
+
+        Merges the buffered ``(key, row id)`` pairs with the base slice
+        (newest-wins), rebuilds the relation, index, and partitioner
+        over the merged run, and invalidates the cached calibration so
+        the next window reprices against the new structure.  The merge
+        is content-determined -- every replica of a shard compacts to
+        the same state whatever its traffic history -- which is what
+        keeps served positions replica-independent.
+        """
+        delta_keys, delta_values = self.delta.drain()
+        if len(delta_keys) == 0:
+            return 0
+        base_keys = self.relation.column.key_at(
+            np.arange(self.num_tuples, dtype=np.int64)
+        )
+        if self._row_ids is None:
+            base_values = self.base_position + np.arange(
+                self.num_tuples, dtype=np.int64
+            )
+        else:
+            base_values = self._row_ids
+        merged_keys, merged_values = merge_newest_wins(
+            base_keys, base_values, delta_keys, delta_values
+        )
+        self.relation = Relation(
+            name=self.relation.name, column=MaterializedColumn(merged_keys)
+        )
+        self.index = type(self.index)(self.relation)
+        self.partitioner = _shard_partitioner(self.relation.column)
+        self._row_ids = merged_values
+        self._machine = None
+        self._calibration = None
+        return len(delta_keys)
 
     # ------------------------------------------------------------------
     # Perf calibration (replayed counters).

@@ -7,17 +7,26 @@ quantifies that guidance:
 
 * :mod:`repro.workloads.updates` -- batched-insert cost for each index
   structure, functionally (merge-based inserts on real data) and under
-  the cost model (maintenance seconds per batch at paper scale).
+  the cost model (maintenance seconds per batch at paper scale), plus
+  mixed read/write request streams (:func:`make_update_stream`) and the
+  sorted-array-with-updates reference (:class:`SortedArrayOracle`) the
+  serving layer's delta tier is checked against.
 """
 
 from .updates import (
+    SortedArrayOracle,
     UpdateCost,
+    UpdateStream,
     functional_insert_throughput,
     maintenance_cost,
+    make_update_stream,
 )
 
 __all__ = [
+    "SortedArrayOracle",
     "UpdateCost",
+    "UpdateStream",
     "functional_insert_throughput",
     "maintenance_cost",
+    "make_update_stream",
 ]
