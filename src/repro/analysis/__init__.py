@@ -19,15 +19,24 @@ Architecture
   findings are fingerprinted by ``(rule, path, stripped source line)``
   so baselines survive unrelated line-number churn.
 * :mod:`repro.analysis.rules` -- the codebase-specific rules
-  (``DET*``, ``UNIT*``, ``OBS*``, ``NP*``, ``RES*``).  Importing the
-  subpackage registers them.
+  (``DET*``, ``UNIT*``, ``OBS*``, ``NP*``, ``RES*``, ``FLOW*``).
+  Importing the subpackage registers them.
+* :mod:`repro.analysis.callgraph` -- the project-wide symbol table and
+  call graph (``repro lint --call-graph`` dumps it as JSON).
+* :mod:`repro.analysis.flow` -- the interprocedural taint engine
+  behind the opt-in flow rules (``FLOW001``/``FLOW002``/``NP002``):
+  nondeterministic sources and unclamped floats tracked across calls
+  into payload writers and int casts, with the full source->sink call
+  path in each finding.
 * :mod:`repro.analysis.cli` -- the ``repro lint`` subcommand: text or
   ``--format json`` output, ``--fail-on-findings`` exit semantics
-  mirroring ``repro obs report``.
+  mirroring ``repro obs report``, plus ``--flow`` and ``--call-graph``.
 
 Typical use::
 
     repro lint src/ --fail-on-findings --format json
+    repro lint src/ --flow --fail-on-findings
+    repro lint src/ --call-graph callgraph.json
 
 Programmatic use::
 
@@ -41,6 +50,7 @@ Programmatic use::
 from __future__ import annotations
 
 from .baseline import Baseline
+from .callgraph import CALLGRAPH_SCHEMA, Project, project_from_paths
 from .engine import (
     FileContext,
     LintRun,
@@ -54,13 +64,16 @@ from .findings import Finding, Severity
 
 __all__ = [
     "Baseline",
+    "CALLGRAPH_SCHEMA",
     "FileContext",
     "Finding",
     "LintRun",
+    "Project",
     "Rule",
     "Severity",
     "all_rules",
     "lint_paths",
+    "project_from_paths",
     "register",
     "rule_table",
 ]

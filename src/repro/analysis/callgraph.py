@@ -1,0 +1,581 @@
+"""Project-wide symbol table and call graph for the flow analyzer.
+
+The per-file rules (``DET*``, ``OBS*``, ...) see one tree at a time;
+the flow rules (``FLOW001``/``FLOW002``/``NP002``) need to know *who
+calls whom* across the whole of ``src/repro/`` so a tainted value can be
+tracked from the function that produced it to the function that writes
+it into a payload.  This module builds that view:
+
+* **module names** -- every linted file gets a canonical dotted name.
+  Files under a ``src/`` segment are named relative to it (so
+  ``src/repro/serve/bench.py`` is ``repro.serve.bench`` no matter where
+  the checkout lives); otherwise names are relative to the common root
+  of the run, which is what the test fixtures exercise.
+* **symbol tables** -- per-module import bindings (``import numpy as
+  np``, ``from ..ioutil import atomic_write_json``, relative levels
+  resolved against the package path) plus module-level functions and
+  classes.
+* **functions** -- every ``def`` (module level, methods, nested) gets a
+  :class:`FunctionInfo` with its parameter list; each module body is
+  itself registered as a pseudo-function so module-level statements
+  participate in the dataflow.
+* **call resolution** -- :meth:`Project.resolve_call` maps a dotted
+  callee (``merge_newest_wins``, ``delta.merge_newest_wins``,
+  ``self.apply``, ``DeltaBuffer.apply``) to the :class:`FunctionInfo`
+  it names, including method lookup through project base classes and a
+  unique-method fallback for ``obj.method(...)`` receivers of unknown
+  type.  Function-valued arguments (the ``map_tasks(run_task, ...)``
+  pattern) are recorded as ``callback`` edges.
+
+``repro lint --call-graph FILE`` dumps the graph as JSON
+(schema ``repro-callgraph/1``) for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+CALLGRAPH_SCHEMA = "repro-callgraph/1"
+
+#: Pseudo-function name holding a module's top-level statements.
+MODULE_BODY = "<module>"
+
+
+@dataclass
+class FunctionInfo:
+    """One ``def`` (or module body) known to the project."""
+
+    qualname: str
+    module: str
+    name: str
+    display_path: str
+    lineno: int
+    params: Tuple[str, ...]
+    node: ast.AST
+    #: Owning class qualname for methods, else None.
+    cls: Optional[str] = None
+    #: Enclosing function qualname for nested defs, else None.
+    parent: Optional[str] = None
+    #: Directly nested function defs: local name -> qualname.
+    local_functions: Dict[str, str] = field(default_factory=dict)
+    is_module_body: bool = False
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods plus raw (dotted) base names."""
+
+    qualname: str
+    module: str
+    name: str
+    display_path: str
+    lineno: int
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleTable:
+    """Per-module symbol table."""
+
+    name: str
+    display_path: str
+    tree: ast.Module
+    is_package: bool = False
+    #: local name -> fully-qualified dotted target.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: module-level function name -> qualname.
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: module-level class name -> qualname.
+    classes: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One resolved-or-not call edge for the JSON dump."""
+
+    caller: str
+    callee: Optional[str]
+    dotted: str
+    lineno: int
+    kind: str  # "call" or "callback"
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_name_parts(display_path: str, common_root: str) -> List[str]:
+    """Canonical dotted-name parts for one file's display path."""
+    path = display_path[:-3] if display_path.endswith(".py") else display_path
+    parts = path.split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    elif common_root:
+        root_parts = common_root.split("/")
+        if parts[: len(root_parts)] == root_parts:
+            parts = parts[len(root_parts):]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return [part for part in parts if part not in ("", ".", "..")]
+
+
+def _common_root(display_paths: Sequence[str]) -> str:
+    """Longest shared directory prefix of the run's files."""
+    directories = sorted({posixpath.dirname(path) for path in display_paths})
+    if not directories:
+        return ""
+    first = directories[0].split("/")
+    last = directories[-1].split("/")
+    common: List[str] = []
+    for a, b in zip(first, last):
+        if a != b:
+            break
+        common.append(a)
+    return "/".join(common)
+
+
+class Project:
+    """Symbol tables, functions, classes, and call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleTable] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: method name -> class qualnames defining it (unique-method lookup).
+        self.method_owners: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def build(files: Sequence[Tuple[str, ast.Module]]) -> "Project":
+        """Build a project from ``(display_path, tree)`` pairs."""
+        project = Project()
+        root = _common_root([path for path, _ in files])
+        for display_path, tree in files:
+            parts = _module_name_parts(display_path, root)
+            name = ".".join(parts) if parts else "__main__"
+            is_package = display_path.endswith("/__init__.py") or (
+                display_path == "__init__.py"
+            )
+            if name in project.modules:
+                # Identical canonical names (e.g. two scratch trees): the
+                # first wins; resolution inside the loser still works for
+                # its own locals because FunctionInfo carries the module.
+                name = name + "+" + str(len(project.modules))
+            table = ModuleTable(
+                name=name,
+                display_path=display_path,
+                tree=tree,
+                is_package=is_package,
+            )
+            project.modules[name] = table
+            project._collect_imports(table)
+            project._collect_defs(table)
+        for cls in project.classes.values():
+            for method in cls.methods:
+                project.method_owners.setdefault(method, []).append(
+                    cls.qualname
+                )
+        return project
+
+    def _collect_imports(self, table: ModuleTable) -> None:
+        for node in ast.walk(table.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        table.imports.setdefault(head, head)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_import_base(table, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    table.imports[bound] = target
+
+    @staticmethod
+    def _resolve_import_base(
+        table: ModuleTable, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module or None
+        parts = table.name.split(".") if table.name else []
+        package = parts if table.is_package else parts[:-1]
+        drop = node.level - 1
+        if drop > len(package):
+            return node.module or None
+        base_parts = package[: len(package) - drop] if drop else package
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts)
+
+    def _collect_defs(self, table: ModuleTable) -> None:
+        module_body = FunctionInfo(
+            qualname=f"{table.name}.{MODULE_BODY}",
+            module=table.name,
+            name=MODULE_BODY,
+            display_path=table.display_path,
+            lineno=1,
+            params=(),
+            node=table.tree,
+            is_module_body=True,
+        )
+        self.functions[module_body.qualname] = module_body
+        self._walk_scope(
+            table, table.tree, prefix=table.name, cls=None, parent=module_body
+        )
+
+    def _walk_scope(
+        self,
+        table: ModuleTable,
+        scope: ast.AST,
+        prefix: str,
+        cls: Optional[str],
+        parent: Optional[FunctionInfo],
+    ) -> None:
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                info = FunctionInfo(
+                    qualname=qualname,
+                    module=table.name,
+                    name=node.name,
+                    display_path=table.display_path,
+                    lineno=node.lineno,
+                    params=_param_names(node),
+                    node=node,
+                    cls=cls,
+                    parent=parent.qualname if parent is not None else None,
+                )
+                self.functions[qualname] = info
+                if parent is not None:
+                    parent.local_functions[node.name] = qualname
+                if cls is None and parent is not None and parent.is_module_body:
+                    table.functions[node.name] = qualname
+                if cls is not None:
+                    self.classes[cls].methods.setdefault(node.name, qualname)
+                self._walk_scope(
+                    table, node, prefix=qualname, cls=None, parent=info
+                )
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{prefix}.{node.name}"
+                bases = tuple(
+                    name
+                    for name in (dotted_name(base) for base in node.bases)
+                    if name is not None
+                )
+                self.classes[qualname] = ClassInfo(
+                    qualname=qualname,
+                    module=table.name,
+                    name=node.name,
+                    display_path=table.display_path,
+                    lineno=node.lineno,
+                    bases=bases,
+                )
+                if parent is not None and parent.is_module_body:
+                    table.classes[node.name] = qualname
+                self._walk_scope(
+                    table, node, prefix=qualname, cls=qualname, parent=parent
+                )
+            else:
+                self._walk_scope(table, node, prefix, cls, parent)
+
+    # ------------------------------------------------------------------
+    # Resolution.
+    # ------------------------------------------------------------------
+
+    def resolve_call(
+        self, caller: FunctionInfo, dotted: str
+    ) -> Optional[Tuple[FunctionInfo, int]]:
+        """Resolve a dotted callee; returns ``(target, param_offset)``.
+
+        ``param_offset`` is 1 for bound-method calls (``self.m(...)``,
+        ``obj.m(...)``) so positional arguments map past ``self``, and 0
+        for plain function / unbound (``Class.m(obj, ...)``) calls.
+        """
+        table = self.modules.get(caller.module)
+        if table is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] == "self" and caller.cls is not None and len(parts) == 2:
+            target = self._lookup_method(caller.cls, parts[1])
+            if target is not None:
+                return target[0], 1
+            return None
+        if len(parts) == 1:
+            target_name = self._resolve_bare(caller, table, parts[0])
+            if target_name is not None:
+                return self._as_callable(target_name)
+            return None
+        head = parts[0]
+        if head in table.imports:
+            full = ".".join([table.imports[head]] + parts[1:])
+            resolved = self._as_callable(full)
+            if resolved is not None:
+                return resolved
+        if head in table.classes and len(parts) == 2:
+            # Unbound call through the class: Class.method(obj, ...).
+            target = self._lookup_method(table.classes[head], parts[1])
+            if target is not None:
+                return target[0], 0
+        if len(parts) == 2:
+            # obj.method(...) with an unknown receiver type: resolve only
+            # when exactly one project class defines the method.
+            owners = self.method_owners.get(parts[1], [])
+            if len(owners) == 1:
+                target = self._lookup_method(owners[0], parts[1])
+                if target is not None:
+                    return target[0], 1
+        return None
+
+    def _resolve_bare(
+        self, caller: FunctionInfo, table: ModuleTable, name: str
+    ) -> Optional[str]:
+        scope: Optional[FunctionInfo] = caller
+        while scope is not None:
+            if name in scope.local_functions:
+                return scope.local_functions[name]
+            scope = (
+                self.functions.get(scope.parent)
+                if scope.parent is not None
+                else None
+            )
+        if name in table.functions:
+            return table.functions[name]
+        if name in table.classes:
+            return table.classes[name]
+        if name in table.imports:
+            return table.imports[name]
+        return None
+
+    def _as_callable(
+        self, qualname: str
+    ) -> Optional[Tuple[FunctionInfo, int]]:
+        info = self.functions.get(qualname)
+        if info is not None:
+            return info, 0
+        cls = self.classes.get(qualname)
+        if cls is not None:
+            init = self._lookup_method(qualname, "__init__")
+            if init is not None:
+                return init[0], 1
+        return None
+
+    def _lookup_method(
+        self, cls_qualname: str, method: str
+    ) -> Optional[Tuple[FunctionInfo, int]]:
+        seen: Set[str] = set()
+        queue = [cls_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            target = cls.methods.get(method)
+            if target is not None:
+                info = self.functions.get(target)
+                if info is not None:
+                    return info, 1
+            table = self.modules.get(cls.module)
+            for base in cls.bases:
+                resolved = self._resolve_class_name(table, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def _resolve_class_name(
+        self, table: Optional[ModuleTable], dotted: str
+    ) -> Optional[str]:
+        if dotted in self.classes:
+            return dotted
+        if table is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] in table.classes and len(parts) == 1:
+            return table.classes[parts[0]]
+        if parts[0] in table.imports:
+            full = ".".join([table.imports[parts[0]]] + parts[1:])
+            if full in self.classes:
+                return full
+        return None
+
+    def function_argument(
+        self, caller: FunctionInfo, node: ast.AST
+    ) -> Optional[FunctionInfo]:
+        """The project function a bare-name/dotted argument refers to."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        resolved = self.resolve_call(caller, dotted)
+        if resolved is not None and not resolved[0].is_module_body:
+            return resolved[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Call-site extraction (JSON dump).
+    # ------------------------------------------------------------------
+
+    def iter_function_statements(
+        self, info: FunctionInfo
+    ) -> Iterator[ast.stmt]:
+        """Top-level statements of a function (or module) body, with
+        nested function/class definitions excluded -- they are separate
+        dataflow scopes."""
+        body = getattr(info.node, "body", [])
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield stmt
+
+    def call_sites(self) -> List[CallSite]:
+        """Every call in every function, resolved where possible."""
+        sites: List[CallSite] = []
+        for qualname in sorted(self.functions):
+            info = self.functions[qualname]
+            for stmt in self.iter_function_statements(info):
+                for node in ast.walk(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    dotted = dotted_name(node.func)
+                    if dotted is None:
+                        continue
+                    resolved = self.resolve_call(info, dotted)
+                    sites.append(
+                        CallSite(
+                            caller=qualname,
+                            callee=(
+                                resolved[0].qualname
+                                if resolved is not None
+                                else None
+                            ),
+                            dotted=dotted,
+                            lineno=node.lineno,
+                            kind="call",
+                        )
+                    )
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        callback = self.function_argument(info, arg)
+                        if callback is not None:
+                            sites.append(
+                                CallSite(
+                                    caller=qualname,
+                                    callee=callback.qualname,
+                                    dotted=dotted_name(arg) or callback.name,
+                                    lineno=node.lineno,
+                                    kind="callback",
+                                )
+                            )
+        return sites
+
+    def to_json(self) -> dict:
+        """JSON document for ``repro lint --call-graph`` (CI artifact)."""
+        sites = self.call_sites()
+        return {
+            "schema": CALLGRAPH_SCHEMA,
+            "modules": [
+                {
+                    "name": table.name,
+                    "path": table.display_path,
+                    "package": table.is_package,
+                }
+                for table in sorted(
+                    self.modules.values(), key=lambda t: t.name
+                )
+            ],
+            "functions": [
+                {
+                    "qualname": info.qualname,
+                    "path": info.display_path,
+                    "line": info.lineno,
+                    "params": list(info.params),
+                    "class": info.cls,
+                }
+                for info in sorted(
+                    self.functions.values(), key=lambda f: f.qualname
+                )
+                if not info.is_module_body
+            ],
+            "edges": [
+                {
+                    "caller": site.caller,
+                    "callee": site.callee,
+                    "dotted": site.dotted,
+                    "line": site.lineno,
+                    "kind": site.kind,
+                }
+                for site in sites
+            ],
+            "resolved_edges": sum(
+                1 for site in sites if site.callee is not None
+            ),
+            "unresolved_edges": sum(
+                1 for site in sites if site.callee is None
+            ),
+        }
+
+
+def _param_names(node: ast.AST) -> Tuple[str, ...]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return ()
+    names = [arg.arg for arg in getattr(args, "posonlyargs", [])]
+    names += [arg.arg for arg in args.args]
+    names += [arg.arg for arg in args.kwonlyargs]
+    return tuple(names)
+
+
+def project_from_paths(
+    paths: Sequence[str],
+) -> Tuple[Project, List[Tuple[str, str]]]:
+    """Parse every Python file under ``paths`` into a project.
+
+    Used by ``repro lint --call-graph``; the lint engine itself hands
+    already-parsed trees to :meth:`Project.build`.  Returns the project
+    plus ``(path, message)`` pairs for unreadable/unparsable files.
+    """
+    from .engine import display_path as display, iter_python_files
+
+    files: List[Tuple[str, ast.Module]] = []
+    errors: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        shown = display(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except OSError as error:
+            errors.append((shown, f"unreadable: {error}"))
+            continue
+        except SyntaxError as error:
+            errors.append(
+                (shown, f"syntax error: {error.msg} (line {error.lineno})")
+            )
+            continue
+        files.append((shown, tree))
+    return Project.build(files), errors

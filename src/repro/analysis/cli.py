@@ -35,6 +35,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the interprocedural flow rules "
+        "(FLOW001/FLOW002/NP002)",
+    )
+    parser.add_argument(
+        "--call-graph", default=None, metavar="FILE",
+        help="dump the project call graph as JSON to FILE (CI artifact)",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (json is what CI archives)",
     )
@@ -117,8 +126,25 @@ def run_lint(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
 
+    if args.call_graph is not None:
+        from ..ioutil import atomic_write_json
+        from .callgraph import project_from_paths
+
+        project, errors = project_from_paths(args.paths)
+        atomic_write_json(args.call_graph, project.to_json())
+        for path, message in errors:
+            stream.write(f"{path}: error: {message}\n")
+        stream.write(
+            f"wrote call graph for {len(project.modules)} module(s) to "
+            f"{args.call_graph}\n"
+        )
+        if errors:
+            return 2
+
     if args.write_baseline is not None:
-        run = lint_paths(args.paths, select=select, baseline=None)
+        run = lint_paths(
+            args.paths, select=select, baseline=None, include_flow=args.flow
+        )
         document = Baseline.document(run.findings)
         # The baseline is metadata, not a durable artifact of a long run,
         # but it goes through the atomic helper like everything else.
@@ -132,7 +158,9 @@ def run_lint(args: argparse.Namespace, out: Optional[TextIO] = None) -> int:
         return 0
 
     baseline = _resolve_baseline(args)
-    run = lint_paths(args.paths, select=select, baseline=baseline)
+    run = lint_paths(
+        args.paths, select=select, baseline=baseline, include_flow=args.flow
+    )
 
     if args.format == "json":
         _render_json(run, stream)

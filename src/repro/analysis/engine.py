@@ -97,6 +97,10 @@ class Rule:
     severity: Severity = Severity.ERROR
     #: One-line description shown by ``repro lint --list-rules``.
     summary: str = ""
+    #: Interprocedural rules (FLOW001/FLOW002/NP002) analyze the whole
+    #: file set at once and are opt-in: ``--flow`` (or naming them in
+    #: ``--select``) enables them, default runs skip them.
+    requires_flow: bool = False
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         return ()
@@ -124,14 +128,27 @@ def _ensure_rules_loaded() -> None:
     from . import rules  # noqa: F401  (import-for-side-effect)
 
 
-def all_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Fresh instances of the registered rules, optionally filtered."""
+def all_rules(
+    select: Optional[Sequence[str]] = None,
+    include_flow: bool = False,
+) -> List[Rule]:
+    """Fresh instances of the registered rules, optionally filtered.
+
+    Flow rules only run when ``include_flow`` is set or when ``select``
+    names them explicitly -- an explicit selection is already an opt-in.
+    """
     _ensure_rules_loaded()
     if select is not None:
         unknown = sorted(set(select) - set(_REGISTRY))
         if unknown:
             raise ValueError(f"unknown rule ids: {', '.join(unknown)}")
-    wanted = set(select) if select is not None else set(_REGISTRY)
+        wanted = set(select)
+    else:
+        wanted = {
+            rule_id
+            for rule_id, cls in _REGISTRY.items()
+            if include_flow or not cls.requires_flow
+        }
     return [cls() for rule_id, cls in sorted(_REGISTRY.items()) if rule_id in wanted]
 
 
@@ -234,9 +251,10 @@ def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
+    include_flow: bool = False,
 ) -> LintRun:
     """Run the selected rules over every Python file under ``paths``."""
-    rules = all_rules(select)
+    rules = all_rules(select, include_flow=include_flow)
     run = LintRun()
     raw: List[Tuple[Finding, Dict[int, Set[str]]]] = []
     file_suppressions: Dict[str, Dict[int, Set[str]]] = {}

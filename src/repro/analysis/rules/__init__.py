@@ -10,13 +10,16 @@ Rule id prefixes group by invariant family:
   the branch-cheap disabled path);
 * ``NP`` -- numpy dtype discipline in index math;
 * ``PERF`` -- no interpreted per-element loops in the probe hot paths;
-* ``RES`` -- durable-artifact crash safety (:mod:`repro.ioutil`).
+* ``RES`` -- durable-artifact crash safety (:mod:`repro.ioutil`);
+* ``FLOW`` -- interprocedural taint flows (opt-in via ``--flow``):
+  nondeterministic values/orderings reaching payload writers.
 """
 
 from __future__ import annotations
 
 from . import (
     determinism,
+    flow,
     numpy_ops,
     obs_contracts,
     perf,
@@ -26,6 +29,7 @@ from . import (
 
 __all__ = [
     "determinism",
+    "flow",
     "numpy_ops",
     "obs_contracts",
     "perf",

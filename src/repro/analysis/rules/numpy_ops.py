@@ -1,17 +1,23 @@
-"""NP001: float contamination in integer index math.
+"""NP001/NP002: float contamination in integer index math.
 
 Key arrays are ``int64`` end to end -- keys, positions, partition ids.
 True division (``/``) silently promotes them to ``float64``, which
 rounds above 2**53 (well inside the paper's 2**33-key relations) and
-makes downstream indexing dtype-dependent.  The classic shapes are
-``int(a / b)`` and ``(a / b).astype(np.int64)`` where ``a // b`` was
-meant; both are flagged everywhere in the tree.
+makes downstream indexing dtype-dependent.  ``NP001`` flags the
+single-expression shapes (``int(a / b)``, ``(a / b).astype(np.int64)``)
+everywhere in the tree; ``NP002`` is its interprocedural completion --
+a float-valued array tracked through assignments and calls into a
+float->int cast with no dominating ``np.clip`` /
+:func:`repro.indexes.domain.clamped_int64` (the statically-checkable
+form of the PR-5 RadixSpline out-of-domain overflow, where a spline
+extrapolation cast to ``int64`` was undefined behavior before the
+bounds check ran).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, List
 
 from ..engine import FileContext, Rule, dotted_name, register
 from ..findings import Finding, Severity
@@ -91,3 +97,46 @@ class DtypeDroppingDivision(Rule):
                     "(a / b).astype(int) drops int64 through float64; "
                     "use floor division // to stay integral",
                 )
+
+
+@register
+class UnclampedFloatCast(Rule):
+    """NP002: float value reaches an int cast with no dominating clamp.
+
+    Opt-in flow rule (``repro lint --flow``).  Tracks float-producing
+    expressions (true division, ``np.log2``/``exp``/..., ``astype(
+    float)``) through assignments, returns, and project calls; if one
+    reaches an ``.astype(<int dtype>)`` cast without passing through
+    ``np.clip`` or :func:`repro.indexes.domain.clamped_int64` first,
+    the cast can overflow (undefined behavior in numpy) exactly as the
+    PR-5 RadixSpline probe did on out-of-domain keys.
+    """
+
+    rule_id = "NP002"
+    severity = Severity.ERROR
+    summary = (
+        "interprocedural: unclamped float value flows into a float->int "
+        "astype cast (clamp with np.clip or repro.indexes.clamped_int64)"
+    )
+    requires_flow = True
+
+    def __init__(self) -> None:
+        self._contexts: List[FileContext] = []
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        self._contexts.append(ctx)
+        return ()
+
+    def finish_run(self) -> Iterable[Finding]:
+        from ..flow import Lane, lane_findings
+
+        for raw in lane_findings(self._contexts, Lane.DTYPE):
+            yield Finding(
+                rule_id=self.rule_id,
+                severity=self.severity,
+                path=raw.path,
+                line=raw.line,
+                col=raw.col,
+                message=raw.message,
+                source_line=raw.source_line,
+            )

@@ -85,8 +85,10 @@ def zipf_sample(
     else:
         top = (float(n) + 1.0) ** (1.0 - theta) - 1.0
         ranks = (u * top + 1.0) ** (1.0 / (1.0 - theta)) - 1.0
-    ranks = np.floor(ranks).astype(np.int64)
-    return np.clip(ranks, 0, n - 1)
+    # Clip in float space *before* the int cast: theta near 1 can push
+    # the inversion past int64, and float->int64 overflow is undefined.
+    ranks = np.clip(np.floor(ranks), 0.0, float(n - 1))
+    return ranks.astype(np.int64)
 
 
 def zipf_sum_p2(n: int, theta: float) -> float:

@@ -18,6 +18,7 @@ address traces the machine model replays):
 from .base import Index, LookupResult, TraceRecorder
 from .binary_search import BinarySearchIndex
 from .btree import BPlusTreeIndex
+from .domain import clamped_int64
 from .fast_tree import FastTreeIndex
 from .harmonia import HarmoniaIndex
 from .radix_spline import RadixSplineIndex
@@ -45,4 +46,5 @@ __all__ = [
     "RadixSplineIndex",
     "ALL_INDEX_TYPES",
     "EXTENSION_INDEX_TYPES",
+    "clamped_int64",
 ]

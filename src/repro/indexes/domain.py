@@ -1,0 +1,32 @@
+"""Domain-clamped float->int64 casts for index math.
+
+``ndarray.astype(np.int64)`` on a float value outside the int64 range
+is undefined behavior in numpy -- the exact bug the PR-5 Hypothesis
+suite caught in the RadixSpline probe, where an out-of-domain key made
+the spline extrapolate past ``2**63`` before the bounds check ran.
+:func:`clamped_int64` is the sanctioned way to leave float space:
+clamp to the caller's known domain first, then round, then cast.  The
+``NP002`` flow rule treats it (like ``np.clip``) as the sanitizer that
+makes a float->int64 cast safe, so every probe-key cast routed through
+it is statically provably in range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clamped_int64"]
+
+
+def clamped_int64(
+    values: np.ndarray, low: float, high: float
+) -> np.ndarray:
+    """Round ``values`` to int64 after clamping into ``[low, high]``.
+
+    The clamp happens in float space (clip, then round-half-even, then
+    cast), so the cast itself can never see an out-of-range value.
+    ``high`` must be exactly representable in float64 (fine for every
+    index domain: positions are bounded by relation cardinality, well
+    below ``2**53``).
+    """
+    return np.rint(np.clip(values, low, high)).astype(np.int64)

@@ -33,6 +33,7 @@ from ..hardware.memory import MemorySpace, SystemMemory
 from ..perf.analytic import level_sweep_pages
 from ..units import KEY_BYTES
 from .base import Index, TraceRecorder
+from .domain import clamped_int64
 
 _MAX_KEY = np.uint64(np.iinfo(np.uint64).max)
 
@@ -123,8 +124,10 @@ class FastTreeIndex(Index):
         # Lower-bound extraction: drop the trailing 1-bits plus one --
         # the last left turn on the search path is the lower bound.
         trailing_one_block = (~slots) & (slots + 1)  # == 1 << trailing_ones
-        shift = np.rint(np.log2(trailing_one_block.astype(np.float64))).astype(
-            np.int64
+        # log2 of a power of two in [1, 2^63] is exactly 0..63; the
+        # clamp makes the float->int64 cast provably in range (NP002).
+        shift = clamped_int64(
+            np.log2(trailing_one_block.astype(np.float64)), 0.0, 63.0
         )
         bound_slots = slots >> (shift + 1)
         found_mask = bound_slots > 0

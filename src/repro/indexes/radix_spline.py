@@ -48,6 +48,7 @@ from ..hardware.memory import MemorySpace, SystemMemory
 from ..perf.analytic import level_sweep_pages
 from ..units import KEY_BYTES
 from .base import Index, TraceRecorder
+from .domain import clamped_int64
 
 #: Bytes per spline point: 8 B key + 8 B position.
 _SPLINE_POINT_BYTES = 16
@@ -431,8 +432,7 @@ class RadixSplineIndex(Index):
         # Clamp before the int cast: probes far above their segment
         # (out-of-domain keys -- guaranteed misses) can predict past the
         # int64 range, and float->int64 overflow is undefined.
-        predicted = np.clip(predicted, 0.0, float(n - 1))
-        estimate = np.rint(predicted).astype(np.int64)
+        estimate = clamped_int64(predicted, 0.0, float(n - 1))
         # 4. Bounded binary search of the data.
         search_lo = np.maximum(estimate - self.error_bound, 0)
         search_hi = np.minimum(estimate + self.error_bound + 1, n)

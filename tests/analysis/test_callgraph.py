@@ -1,0 +1,278 @@
+"""Call-graph builder: naming, resolution, callbacks, JSON dump."""
+
+import ast
+import json
+
+from repro.analysis.callgraph import (
+    CALLGRAPH_SCHEMA,
+    MODULE_BODY,
+    Project,
+    project_from_paths,
+)
+
+
+def build(*files):
+    """Project from ``(display_path, source)`` pairs."""
+    return Project.build(
+        [(path, ast.parse(source)) for path, source in files]
+    )
+
+
+def resolve(project, caller_qualname, dotted):
+    return project.resolve_call(project.functions[caller_qualname], dotted)
+
+
+class TestModuleNaming:
+    def test_src_relative_names(self):
+        project = build(
+            ("src/repro/serve/bench.py", "x = 1\n"),
+            ("src/repro/ioutil.py", "y = 2\n"),
+        )
+        assert set(project.modules) == {"repro.serve.bench", "repro.ioutil"}
+
+    def test_package_init_names_the_package(self):
+        project = build(("src/repro/serve/__init__.py", "x = 1\n"))
+        table = project.modules["repro.serve"]
+        assert table.is_package
+
+    def test_no_src_segment_falls_back_to_common_root(self):
+        project = build(
+            ("/tmp/scratch/pkg/a.py", "x = 1\n"),
+            ("/tmp/scratch/pkg/sub/b.py", "y = 2\n"),
+        )
+        assert set(project.modules) == {"a", "sub.b"}
+
+    def test_module_body_registered_as_pseudo_function(self):
+        project = build(("src/repro/a.py", "x = 1\n"))
+        info = project.functions[f"repro.a.{MODULE_BODY}"]
+        assert info.is_module_body
+
+
+class TestResolution:
+    def test_bare_call_to_module_function(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "def helper(x):\n    return x\n"
+                "def caller(y):\n    return helper(y)\n",
+            )
+        )
+        target, offset = resolve(project, "repro.a.caller", "helper")
+        assert target.qualname == "repro.a.helper"
+        assert offset == 0
+
+    def test_nested_function_resolves_before_module_scope(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "def helper():\n    return 1\n"
+                "def outer():\n"
+                "    def helper():\n        return 2\n"
+                "    return helper()\n",
+            )
+        )
+        target, _ = resolve(project, "repro.a.outer", "helper")
+        assert target.qualname == "repro.a.outer.helper"
+
+    def test_aliased_from_import(self):
+        project = build(
+            ("src/repro/util.py", "def merge(a, b):\n    return a\n"),
+            (
+                "src/repro/b.py",
+                "from repro.util import merge as m\n"
+                "def caller(x):\n    return m(x, x)\n",
+            ),
+        )
+        target, offset = resolve(project, "repro.b.caller", "m")
+        assert target.qualname == "repro.util.merge"
+        assert offset == 0
+
+    def test_aliased_module_import(self):
+        project = build(
+            ("src/repro/util.py", "def merge(a, b):\n    return a\n"),
+            (
+                "src/repro/b.py",
+                "import repro.util as u\n"
+                "def caller(x):\n    return u.merge(x, x)\n",
+            ),
+        )
+        target, _ = resolve(project, "repro.b.caller", "u.merge")
+        assert target.qualname == "repro.util.merge"
+
+    def test_relative_import_resolution(self):
+        project = build(
+            ("src/repro/serve/__init__.py", ""),
+            ("src/repro/ioutil.py", "def atomic_write_json(p, d):\n    pass\n"),
+            (
+                "src/repro/serve/bench.py",
+                "from ..ioutil import atomic_write_json\n"
+                "def emit(payload):\n"
+                "    atomic_write_json('x.json', payload)\n",
+            ),
+        )
+        target, _ = resolve(
+            project, "repro.serve.bench.emit", "atomic_write_json"
+        )
+        assert target.qualname == "repro.ioutil.atomic_write_json"
+
+    def test_self_method_call_offsets_past_self(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "class Shard:\n"
+                "    def probe(self, keys):\n        return keys\n"
+                "    def run(self, keys):\n        return self.probe(keys)\n",
+            )
+        )
+        target, offset = resolve(project, "repro.a.Shard.run", "self.probe")
+        assert target.qualname == "repro.a.Shard.probe"
+        assert offset == 1
+
+    def test_method_lookup_through_base_class(self):
+        project = build(
+            (
+                "src/repro/base.py",
+                "class Index:\n"
+                "    def lookup(self, keys):\n        return keys\n",
+            ),
+            (
+                "src/repro/b.py",
+                "from repro.base import Index\n"
+                "class BTree(Index):\n"
+                "    def run(self, keys):\n        return self.lookup(keys)\n",
+            ),
+        )
+        target, offset = resolve(project, "repro.b.BTree.run", "self.lookup")
+        assert target.qualname == "repro.base.Index.lookup"
+        assert offset == 1
+
+    def test_unbound_class_method_call_has_no_offset(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "class Shard:\n"
+                "    def probe(self, keys):\n        return keys\n"
+                "def caller(shard, keys):\n"
+                "    return Shard.probe(shard, keys)\n",
+            )
+        )
+        target, offset = resolve(project, "repro.a.caller", "Shard.probe")
+        assert target.qualname == "repro.a.Shard.probe"
+        assert offset == 0
+
+    def test_constructor_resolves_to_init(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "class Shard:\n"
+                "    def __init__(self, keys):\n        self.keys = keys\n"
+                "def caller(keys):\n    return Shard(keys)\n",
+            )
+        )
+        target, offset = resolve(project, "repro.a.caller", "Shard")
+        assert target.qualname == "repro.a.Shard.__init__"
+        assert offset == 1
+
+    def test_unique_method_heuristic(self):
+        # Only one project class defines .reconcile, so obj.reconcile()
+        # resolves even though obj's type is unknown.
+        project = build(
+            (
+                "src/repro/a.py",
+                "class Delta:\n"
+                "    def reconcile(self, base):\n        return base\n",
+            ),
+            (
+                "src/repro/b.py",
+                "def caller(obj, base):\n    return obj.reconcile(base)\n",
+            ),
+        )
+        target, offset = resolve(project, "repro.b.caller", "obj.reconcile")
+        assert target.qualname == "repro.a.Delta.reconcile"
+        assert offset == 1
+
+    def test_ambiguous_method_does_not_resolve(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "class A:\n    def get(self):\n        return 1\n"
+                "class B:\n    def get(self):\n        return 2\n",
+            ),
+            ("src/repro/b.py", "def caller(obj):\n    return obj.get()\n"),
+        )
+        assert resolve(project, "repro.b.caller", "obj.get") is None
+
+    def test_recursive_cycle_resolves_both_directions(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "def ping(n):\n    return pong(n - 1) if n else 0\n"
+                "def pong(n):\n    return ping(n - 1) if n else 1\n",
+            )
+        )
+        assert resolve(project, "repro.a.ping", "pong")[0].qualname == (
+            "repro.a.pong"
+        )
+        assert resolve(project, "repro.a.pong", "ping")[0].qualname == (
+            "repro.a.ping"
+        )
+
+
+class TestCallbacks:
+    def test_map_tasks_style_callback_is_recorded(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "def run_task(task):\n    return task\n"
+                "def map_tasks(fn, tasks):\n"
+                "    return [fn(t) for t in tasks]\n"
+                "def sweep(tasks):\n"
+                "    return map_tasks(run_task, tasks)\n",
+            )
+        )
+        callbacks = [
+            site
+            for site in project.call_sites()
+            if site.kind == "callback"
+        ]
+        assert [(s.caller, s.callee) for s in callbacks] == [
+            ("repro.a.sweep", "repro.a.run_task")
+        ]
+
+
+class TestJsonDump:
+    def test_document_shape(self):
+        project = build(
+            (
+                "src/repro/a.py",
+                "def helper(x):\n    return x\n"
+                "def caller(y):\n    return helper(unknown(y))\n",
+            )
+        )
+        document = project.to_json()
+        assert document["schema"] == CALLGRAPH_SCHEMA
+        assert [m["name"] for m in document["modules"]] == ["repro.a"]
+        qualnames = [f["qualname"] for f in document["functions"]]
+        assert qualnames == ["repro.a.caller", "repro.a.helper"]
+        # helper(...) resolves, unknown(...) does not.
+        assert document["resolved_edges"] == 1
+        assert document["unresolved_edges"] == 1
+        edges = {
+            (e["caller"], e["dotted"]): e["callee"]
+            for e in document["edges"]
+        }
+        assert edges[("repro.a.caller", "helper")] == "repro.a.helper"
+        assert edges[("repro.a.caller", "unknown")] is None
+        json.dumps(document)  # must be serializable as-is
+
+    def test_project_from_paths(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text(
+            "def f(x):\n    return x\n", encoding="utf-8"
+        )
+        (pkg / "broken.py").write_text("def nope(:\n", encoding="utf-8")
+        project, errors = project_from_paths([str(tmp_path)])
+        assert any(name.endswith("a") for name in project.modules)
+        assert len(errors) == 1
+        assert "syntax error" in errors[0][1]

@@ -161,3 +161,136 @@ def test_repro_cli_dispatches_lint(tmp_path, capsys):
     )
     assert code == 1
     assert "DET001" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Flow rules and the call-graph dump.
+# ----------------------------------------------------------------------
+
+#: One seeded interprocedural violation per flow lane.  CI runs
+#: ``repro lint src --flow --fail-on-findings``; each of these must
+#: fail that gate with the full call path in the message.
+FLOW_VIOLATIONS = {
+    "FLOW001": textwrap.dedent(
+        """
+        import numpy as np
+        from repro.ioutil import atomic_write_json
+
+        def sample(count):
+            return np.random.rand(count)
+
+        def emit(path, count):
+            atomic_write_json(path, list(sample(count)))
+        """
+    ),
+    "FLOW002": textwrap.dedent(
+        """
+        from repro.ioutil import atomic_write_json
+
+        def collect(extra):
+            acc = []
+            for name in {"b", "a"} | extra:
+                acc.append(name)
+            return acc
+
+        def emit(path, extra):
+            atomic_write_json(path, collect(extra))
+        """
+    ),
+    "NP002": textwrap.dedent(
+        """
+        import numpy as np
+
+        def predict(keys, span):
+            return keys / span
+
+        def to_slots(values):
+            return values.astype(np.int64)
+
+        def probe(keys, span):
+            return to_slots(predict(keys, span))
+        """
+    ),
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(FLOW_VIOLATIONS))
+def test_each_flow_lane_fails_the_gate_with_a_call_path(
+    tmp_path, capsys, rule_id
+):
+    target = tmp_path / "src" / "repro" / "flow_violation.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(FLOW_VIOLATIONS[rule_id], encoding="utf-8")
+    code = main(
+        [str(target), "--flow", "--fail-on-findings", "--no-baseline"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert rule_id in out
+    assert "call path:" in out
+    assert "repro.flow_violation" in out
+
+
+def test_dtype_leak_is_invisible_without_the_flow_pass(tmp_path, capsys):
+    # The FLOW001/FLOW002 seeds are also caught per-file (DET001 flags
+    # the raw np.random call, DET003 the set loop), but the cross-
+    # function float->int cast has no single-expression shape NP001
+    # could match: only the interprocedural pass sees it.
+    target = tmp_path / "src" / "repro" / "flow_violation.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(FLOW_VIOLATIONS["NP002"], encoding="utf-8")
+    assert main([str(target), "--fail-on-findings", "--no-baseline"]) == 0
+    capsys.readouterr()
+    code = main(
+        [str(target), "--flow", "--fail-on-findings", "--no-baseline"]
+    )
+    assert code == 1
+    assert "NP002" in capsys.readouterr().out
+
+
+def test_select_opts_into_a_flow_rule_without_the_flag(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "flow_violation.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(FLOW_VIOLATIONS["NP002"], encoding="utf-8")
+    code = main(
+        [
+            str(target),
+            "--select",
+            "NP002",
+            "--fail-on-findings",
+            "--no-baseline",
+        ]
+    )
+    assert code == 1
+    assert "NP002" in capsys.readouterr().out
+
+
+def test_call_graph_dump(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "graph_demo.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "def helper(x):\n    return x\n"
+        "def caller(y):\n    return helper(y)\n",
+        encoding="utf-8",
+    )
+    graph_path = tmp_path / "callgraph.json"
+    code = main(
+        [str(target), "--call-graph", str(graph_path), "--no-baseline"]
+    )
+    assert code == 0
+    assert "wrote call graph" in capsys.readouterr().out
+    document = json.loads(graph_path.read_text(encoding="utf-8"))
+    assert document["schema"] == "repro-callgraph/1"
+    assert [m["name"] for m in document["modules"]] == ["repro.graph_demo"]
+    assert document["resolved_edges"] == 1
+
+
+def test_call_graph_with_unparsable_file_exits_two(tmp_path, capsys):
+    target = tmp_path / "broken.py"
+    target.write_text("def nope(:\n", encoding="utf-8")
+    graph_path = tmp_path / "callgraph.json"
+    code = main(
+        [str(target), "--call-graph", str(graph_path), "--no-baseline"]
+    )
+    assert code == 2
+    assert "syntax error" in capsys.readouterr().out

@@ -23,10 +23,24 @@ EXPECTED_RULES = [
     "UNIT001",
 ]
 
+#: Opt-in interprocedural rules: listed in the table, excluded from
+#: default runs, enabled by --flow or an explicit --select.
+EXPECTED_FLOW_RULES = ["FLOW001", "FLOW002", "NP002"]
+
 
 def test_registry_ships_the_documented_rules():
     assert [rule.rule_id for rule in all_rules()] == EXPECTED_RULES
-    assert [row[0] for row in rule_table()] == EXPECTED_RULES
+    assert [row[0] for row in rule_table()] == sorted(
+        EXPECTED_RULES + EXPECTED_FLOW_RULES
+    )
+
+
+def test_flow_rules_are_opt_in():
+    assert [rule.rule_id for rule in all_rules(include_flow=True)] == sorted(
+        EXPECTED_RULES + EXPECTED_FLOW_RULES
+    )
+    # An explicit selection is its own opt-in.
+    assert [rule.rule_id for rule in all_rules(["FLOW001"])] == ["FLOW001"]
 
 
 def test_select_unknown_rule_raises():

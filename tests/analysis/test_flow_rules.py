@@ -1,0 +1,428 @@
+"""Flow rules: TP/FP golden pairs per lane, call paths, sanitizers.
+
+Each lane gets at least one true-positive/false-positive pair: the TP
+asserts the leak is caught *and* that the finding message carries the
+source->...->sink call path; the FP asserts the sanitized twin stays
+clean.  Interprocedural pairs span multiple functions (and files) on
+purpose -- a per-file rule could not catch them.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` files and lint the tree with one rule."""
+
+    def run(files, select):
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        if select is None:
+            selected = None
+        elif isinstance(select, str):
+            selected = [select]
+        else:
+            selected = list(select)
+        return lint_paths([str(tmp_path)], select=selected)
+
+    return run
+
+
+class TestFlow001Value:
+    def test_unseeded_rng_reaching_payload_writer(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/leak.py": """
+                import numpy as np
+                from repro.ioutil import atomic_write_json
+
+                def make_noise(count):
+                    return np.random.rand(count)
+
+                def build_payload(count):
+                    return {"noise": list(make_noise(count))}
+
+                def emit(path, count):
+                    atomic_write_json(path, build_payload(count))
+                """
+            },
+            select="FLOW001",
+        )
+        assert [f.rule_id for f in run.findings] == ["FLOW001"]
+        message = run.findings[0].message
+        assert "unseeded np.random.rand" in message
+        # The full interprocedural chain rides in the message.
+        assert (
+            "repro.leak.make_noise -> repro.leak.build_payload -> "
+            "repro.leak.emit" in message
+        )
+
+    def test_seeded_rng_is_clean(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/clean.py": """
+                import numpy as np
+                from repro.ioutil import atomic_write_json
+
+                def make_noise(count, seed):
+                    rng = np.random.default_rng(seed)
+                    return rng.random(count)
+
+                def emit(path, count):
+                    atomic_write_json(path, list(make_noise(count, 7)))
+                """
+            },
+            select="FLOW001",
+        )
+        assert run.findings == []
+
+    def test_wall_clock_into_json_payload(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/stamp.py": """
+                import json
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def render():
+                    return json.dumps({"at": stamp()})
+                """
+            },
+            select="FLOW001",
+        )
+        assert [f.rule_id for f in run.findings] == ["FLOW001"]
+        assert "wall clock time.time" in run.findings[0].message
+        assert "repro.stamp.stamp -> repro.stamp.render" in (
+            run.findings[0].message
+        )
+
+    def test_wall_clock_in_sanctioned_module_is_clean(self, lint_tree):
+        # Same code, but inside the tracing module whose clock reads are
+        # the sanctioned timing surface (DET002's allowlist).
+        run = lint_tree(
+            {
+                "src/repro/obs/tracing.py": """
+                import json
+                import time
+
+                def stamp():
+                    return time.time()
+
+                def render():
+                    return json.dumps({"at": stamp()})
+                """
+            },
+            select="FLOW001",
+        )
+        assert run.findings == []
+
+    def test_environ_read_into_payload(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/env_leak.py": """
+                import os
+                from repro.ioutil import atomic_write_text
+
+                def emit(path):
+                    atomic_write_text(path, os.environ["HOSTNAME"])
+                """
+            },
+            select="FLOW001",
+        )
+        assert [f.rule_id for f in run.findings] == ["FLOW001"]
+        assert "os.environ" in run.findings[0].message
+
+    def test_environ_read_in_config_module_is_clean(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/config.py": """
+                import os
+                from repro.ioutil import atomic_write_text
+
+                def emit(path):
+                    atomic_write_text(path, os.environ["HOSTNAME"])
+                """
+            },
+            select="FLOW001",
+        )
+        assert run.findings == []
+
+    def test_flow_across_two_files(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/producer.py": """
+                import numpy as np
+
+                def sample(count):
+                    return np.random.rand(count)
+                """,
+                "src/repro/consumer.py": """
+                from repro.producer import sample
+                from repro.ioutil import atomic_write_json
+
+                def emit(path, count):
+                    atomic_write_json(path, list(sample(count)))
+                """,
+            },
+            select="FLOW001",
+        )
+        assert [f.rule_id for f in run.findings] == ["FLOW001"]
+        finding = run.findings[0]
+        # Anchored at the sink: the write site in the consumer.
+        assert finding.path.endswith("consumer.py")
+        assert "repro.producer.sample -> repro.consumer.emit" in (
+            finding.message
+        )
+
+    def test_noqa_on_the_sink_line_suppresses(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/leak.py": """
+                import numpy as np
+                from repro.ioutil import atomic_write_json
+
+                def emit(path, count):
+                    noise = np.random.rand(count)
+                    atomic_write_json(path, noise)  # repro: noqa[FLOW001]
+                """
+            },
+            select="FLOW001",
+        )
+        assert run.findings == []
+        assert [f.rule_id for f in run.suppressed] == ["FLOW001"]
+
+
+class TestFlow002Order:
+    def test_set_iteration_order_reaching_writer(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/order_leak.py": """
+                from repro.ioutil import atomic_write_json
+
+                def collect(extra):
+                    acc = []
+                    for name in {"b", "a"} | extra:
+                        acc.append(name)
+                    return acc
+
+                def emit(path, extra):
+                    atomic_write_json(path, collect(extra))
+                """
+            },
+            select="FLOW002",
+        )
+        assert [f.rule_id for f in run.findings] == ["FLOW002"]
+        message = run.findings[0].message
+        assert "set iteration order" in message
+        assert "repro.order_leak.collect -> repro.order_leak.emit" in message
+
+    def test_sorted_iteration_is_clean(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/order_ok.py": """
+                from repro.ioutil import atomic_write_json
+
+                def collect(extra):
+                    acc = []
+                    for name in sorted({"b", "a"} | extra):
+                        acc.append(name)
+                    return acc
+
+                def emit(path, extra):
+                    atomic_write_json(path, collect(extra))
+                """
+            },
+            select="FLOW002",
+        )
+        assert run.findings == []
+
+    def test_sorting_after_collection_sanitizes(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/order_ok2.py": """
+                from repro.ioutil import atomic_write_json
+
+                def collect(extra):
+                    acc = []
+                    for name in {"b", "a"} | extra:
+                        acc.append(name)
+                    return sorted(acc)
+
+                def emit(path, extra):
+                    atomic_write_json(path, collect(extra))
+                """
+            },
+            select="FLOW002",
+        )
+        assert run.findings == []
+
+    def test_index_keyed_placement_is_deterministic(self, lint_tree):
+        # results[i] = x places each element at a slot chosen by data,
+        # not by iteration order -- the submission-order pool pattern.
+        run = lint_tree(
+            {
+                "src/repro/order_ok3.py": """
+                from repro.ioutil import atomic_write_json
+
+                def collect(pairs):
+                    out = [None] * len(pairs)
+                    for index in {2, 0, 1}:
+                        out[index] = index * 2
+                    return out
+
+                def emit(path, pairs):
+                    atomic_write_json(path, collect(pairs))
+                """
+            },
+            select="FLOW002",
+        )
+        assert run.findings == []
+
+
+class TestNp002Dtype:
+    def test_unclamped_division_cast_across_functions(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/cast_leak.py": """
+                import numpy as np
+
+                def predict(keys, span):
+                    return keys / span
+
+                def to_slots(values):
+                    return values.astype(np.int64)
+
+                def probe(keys, span):
+                    return to_slots(predict(keys, span))
+                """
+            },
+            select="NP002",
+        )
+        assert [f.rule_id for f in run.findings] == ["NP002"]
+        message = run.findings[0].message
+        assert "true division" in message
+        assert "repro.cast_leak.predict -> repro.cast_leak.to_slots" in (
+            message
+        )
+
+    def test_clip_before_cast_is_clean(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/cast_ok.py": """
+                import numpy as np
+
+                def predict(keys, span):
+                    return keys / span
+
+                def to_slots(values, n):
+                    return np.clip(values, 0.0, float(n - 1)).astype(np.int64)
+
+                def probe(keys, span, n):
+                    return to_slots(predict(keys, span), n)
+                """
+            },
+            select="NP002",
+        )
+        assert run.findings == []
+
+    def test_clamped_int64_helper_is_a_sanitizer(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/cast_ok2.py": """
+                from repro.indexes.domain import clamped_int64
+
+                def predict(keys, span):
+                    return keys / span
+
+                def probe(keys, span, n):
+                    return clamped_int64(predict(keys, span), 0.0, float(n))
+                """
+            },
+            select="NP002",
+        )
+        assert run.findings == []
+
+    def test_transcendental_source_is_tracked(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/log_leak.py": """
+                import numpy as np
+
+                def shifts(blocks):
+                    return np.log2(blocks)
+
+                def as_ints(values):
+                    return values.astype(np.int64)
+
+                def probe(blocks):
+                    return as_ints(shifts(blocks))
+                """
+            },
+            select="NP002",
+        )
+        assert [f.rule_id for f in run.findings] == ["NP002"]
+        assert "log2() float result" in run.findings[0].message
+
+    def test_integer_producers_kill_the_taint(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/int_ok.py": """
+                import numpy as np
+
+                def predict(keys, span):
+                    return keys / span
+
+                def probe(table, keys, span):
+                    slots = np.searchsorted(table, predict(keys, span))
+                    return slots.astype(np.int64)
+                """
+            },
+            select="NP002",
+        )
+        assert run.findings == []
+
+
+class TestFlowFindingsIntegration:
+    def test_findings_anchor_at_the_sink_line(self, lint_tree):
+        run = lint_tree(
+            {
+                "src/repro/leak.py": """
+                import numpy as np
+                from repro.ioutil import atomic_write_json
+
+                def emit(path, count):
+                    noise = np.random.rand(count)
+                    atomic_write_json(path, noise)
+                """
+            },
+            select="FLOW001",
+        )
+        finding = run.findings[0]
+        assert finding.line == 7
+        assert finding.source_line == "atomic_write_json(path, noise)"
+
+    def test_flow_rules_skipped_without_opt_in(self, lint_tree):
+        # The same leaking tree under a default (no --flow) run: the
+        # per-file rules still fire, the flow rules stay quiet.
+        run = lint_tree(
+            {
+                "src/repro/leak.py": """
+                import numpy as np
+                from repro.ioutil import atomic_write_json
+
+                def emit(path, count):
+                    atomic_write_json(path, np.random.rand(count))
+                """
+            },
+            select=None,
+        )
+        assert "FLOW001" not in {f.rule_id for f in run.findings}
+        assert "DET001" in {f.rule_id for f in run.findings}

@@ -24,12 +24,60 @@ def self_run():
     return lint_paths([SRC_PATH], baseline=baseline)
 
 
+@pytest.fixture(scope="module")
+def self_flow_run():
+    baseline = Baseline.load(BASELINE_PATH)
+    return lint_paths([SRC_PATH], baseline=baseline, include_flow=True)
+
+
 def test_src_tree_is_lint_clean(self_run):
     messages = [f.format_text() for f in self_run.findings]
     assert self_run.findings == [], "\n".join(messages)
     assert self_run.errors == []
     # Sanity: the run actually saw the tree.
     assert self_run.files_checked > 50
+
+
+def test_src_tree_is_flow_clean(self_flow_run):
+    # The interprocedural gate CI runs (`repro lint src --flow
+    # --fail-on-findings`): no nondeterministic source reaches a payload
+    # writer, and no unclamped float reaches an int cast.
+    messages = [f.format_text() for f in self_flow_run.findings]
+    assert self_flow_run.findings == [], "\n".join(messages)
+    assert self_flow_run.errors == []
+
+
+def test_flow_analysis_sees_a_connected_graph():
+    # Guard against the vacuous-pass failure mode: if sink matching ever
+    # breaks, the flow gate would stay green while checking nothing.
+    # The src tree must present a rich sink surface to both lanes.
+    import ast
+
+    from repro.analysis.engine import (
+        FileContext,
+        display_path,
+        iter_python_files,
+    )
+    from repro.analysis.flow import FlowAnalysis, Lane
+
+    contexts = []
+    for path in iter_python_files([SRC_PATH]):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        contexts.append(
+            FileContext(path, display_path(path), source, ast.parse(source))
+        )
+    analysis = FlowAnalysis(contexts).run()
+    for lane in (Lane.VALUE, Lane.ORDER):
+        assert len(analysis.sinks[lane]) > 50, lane
+        edge_count = sum(
+            len(targets) for targets in analysis.edges[lane].values()
+        )
+        assert edge_count > 1000, lane
+    # The dtype lane sees the index math: float sources exist and are
+    # all clamped before their casts.
+    assert len(analysis.sources[Lane.DTYPE]) > 50
+    assert analysis.findings(Lane.DTYPE) == []
 
 
 def test_every_baseline_entry_is_justified():
