@@ -83,6 +83,42 @@ class Column:
         """Error bound accompanying :meth:`lower_bound_hint`."""
         raise NotImplementedError
 
+    def bound_positions(self, keys: ArrayLike, side: str = "left") -> np.ndarray:
+        """Vectorized ``searchsorted`` over the column.
+
+        ``side="left"`` returns the first position whose key is ``>=``
+        each probe (the lower bound); ``side="right"`` the first whose
+        key is ``>`` it.  Both return ``len(self)`` when no such
+        position exists.  The generic implementation bisects through
+        :meth:`key_at` in O(log n) vectorized rounds so it works for
+        virtual columns too; materialized columns override it with a
+        direct ``searchsorted``.  This is the ground-truth primitive the
+        non-equi join oracles are built on.
+        """
+        if side not in ("left", "right"):
+            raise ConfigurationError(
+                f"side must be 'left' or 'right', got {side!r}"
+            )
+        keys = np.atleast_1d(np.asarray(keys, dtype=KEY_DTYPE))
+        n = len(self)
+        lo = np.zeros(len(keys), dtype=np.int64)
+        hi = np.full(len(keys), n, dtype=np.int64)
+        while True:
+            active = lo < hi
+            if not active.any():
+                break
+            mid = (lo + hi) >> 1
+            # mid < n whenever active, so the masked read never leaves
+            # the column.
+            mid_keys = self.key_at(np.where(active, mid, 0))
+            if side == "left":
+                go_right = active & (mid_keys < keys)
+            else:
+                go_right = active & (mid_keys <= keys)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+        return lo
+
     @property
     def min_key(self) -> int:
         return int(self.key_at(np.asarray([0]))[0])
@@ -162,6 +198,14 @@ class MaterializedColumn(Column):
 
     def hint_error_bound(self) -> int:
         return 0
+
+    def bound_positions(self, keys: ArrayLike, side: str = "left") -> np.ndarray:
+        if side not in ("left", "right"):
+            raise ConfigurationError(
+                f"side must be 'left' or 'right', got {side!r}"
+            )
+        keys = np.atleast_1d(np.asarray(keys, dtype=KEY_DTYPE))
+        return np.searchsorted(self._keys, keys, side=side).astype(np.int64)
 
     @property
     def min_gap(self) -> int:

@@ -34,7 +34,19 @@ from ..resilience import faults
 from ..resilience.report import ExperimentFailure, RunReport
 from ..resilience import retry as retry_mod
 from ..resilience.retry import RetryPolicy
-from . import cache, claims, common, fig3, fig5, fig6, fig7, fig8, fig9, table1
+from . import (
+    cache,
+    claims,
+    common,
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    nonequi,
+    table1,
+)
 from .common import DEFAULT_R_SIZES_GIB, NAIVE_SIM
 
 #: Reduced sweeps for --quick mode.
@@ -331,6 +343,17 @@ def _run_all(names, quick, stream, output_dir, charts, workers, report):
             finish(value)
             emit(f"  [fig9 took {took('fig9'):.1f}s]")
 
+    if selected("nonequi"):
+        thetas = (0.0,) if quick else nonequi.DEFAULT_THETAS
+        value = guarded(
+            "nonequi", lambda: nonequi.run(thetas=thetas, workers=workers)
+        )
+        if value is not None:
+            results["nonequi"] = value
+            emit(value.to_text())
+            finish(value)
+            emit(f"  [nonequi took {took('nonequi'):.1f}s]")
+
     if selected("claims"):
         measured = guarded("claims", claims.run)
         if measured is not None:
@@ -398,7 +421,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="subset to run: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 claims",
+        help="subset to run: table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 "
+             "nonequi claims",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced sweeps (~1 minute)"

@@ -261,6 +261,131 @@ class Index(abc.ABC):
             result_bytes=float(count * KEY_BYTES),
         )
 
+    # ------------------------------------------------------------------
+    # Fused range-probe kernel (non-equi joins).
+    # ------------------------------------------------------------------
+
+    def _lower_bound(self, keys: np.ndarray) -> np.ndarray:
+        """First column position with key >= probe; ``len(column)`` if none.
+
+        The non-equi range primitive under :meth:`probe_range_batch`.
+        Each index derives it from the same structure its ``_traverse``
+        walks (tree descent, spline prediction, ...), so range probes
+        have the locality profile of two equality probes.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not implement the range primitive"
+        )
+
+    def _range_bounds(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-key [start, end) span of column keys in ``[lo, hi]``.
+
+        ``start`` is the lower bound of ``lo``; ``end`` is the upper
+        bound of ``hi`` (its lower bound plus an equality bump, exact
+        because column keys are unique).  Inverted inputs (``lo > hi``)
+        produce the empty span ``[start, start)``.
+        """
+        n = len(self.column)
+        starts = self._lower_bound(lo)
+        ends = self._lower_bound(hi)
+        in_range = ends < n
+        safe = np.where(in_range, ends, 0)
+        ends = ends + (in_range & (self.column.key_at(safe) == hi)).astype(
+            np.int64
+        )
+        return starts, np.maximum(ends, starts)
+
+    def probe_range_batch(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        out_start: np.ndarray,
+        out_end: np.ndarray,
+        offset: int = 0,
+    ) -> PerfCounters:
+        """Fused batch range probe into caller-owned span buffers.
+
+        Writes, for each key pair, the half-open span ``[start, end)``
+        of column positions whose keys fall in ``[lo[i], hi[i]]`` into
+        ``out_start[offset : offset + count]`` /
+        ``out_end[offset : offset + count]``, and returns the batch's
+        structural :class:`PerfCounters` delta (two bound traversals per
+        pair, so twice :meth:`probe_batch`'s access count).  Like
+        ``probe_batch``, the kernel is either the vectorized numpy
+        bounds or, under ``REPRO_JIT``, a compiled scalar twin from
+        :mod:`repro.indexes.kernels` -- bit-identical either way.
+        """
+        lo = np.asarray(lo, dtype=KEY_DTYPE)
+        hi = np.asarray(hi, dtype=KEY_DTYPE)
+        count = len(lo)
+        if len(hi) != count:
+            raise SimulationError(
+                f"range bounds must have equal length: {count} != {len(hi)}"
+            )
+        for buffer, label in ((out_start, "start"), (out_end, "end")):  # repro: noqa[PERF001] -- two-element argument validation, not per-key work
+            if buffer.ndim != 1 or buffer.dtype != np.int64:
+                raise SimulationError(
+                    f"probe_range_batch needs 1-D int64 {label} buffers, "
+                    f"got {buffer.ndim}-D {buffer.dtype}"
+                )
+            if offset < 0 or offset + count > len(buffer):
+                raise SimulationError(
+                    f"output window [{offset}, {offset + count}) exceeds "
+                    f"the {label} buffer of {len(buffer)} positions"
+                )
+        if count == 0:
+            return PerfCounters()
+        start_view = out_start[offset : offset + count]
+        end_view = out_end[offset : offset + count]
+        if obs.enabled():
+            with obs.span("index.probe_range_batch", index=self.name,
+                          lookups=count):
+                self._range_kernel(lo, hi, start_view, end_view)
+            obs.add("index.range_lookups", float(count), index=self.name)
+            obs.add("index.range_kernels", index=self.name)
+        else:
+            self._range_kernel(lo, hi, start_view, end_view)
+        return self._range_batch_counters(count)
+
+    def _range_kernel(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        out_start: np.ndarray,
+        out_end: np.ndarray,
+    ) -> None:
+        """One fused range pass; spans land in the output views."""
+        if jit.enabled():
+            runner = jit.range_runner_for(self)
+            if runner is not None:
+                runner(lo, hi, out_start, out_end)
+                return
+        starts, ends = self._range_bounds(lo, hi)
+        out_start[:] = starts
+        out_end[:] = ends
+
+    def _range_kernel_args(self):
+        """(range-kernel name, packed structure args) or None.
+
+        Mirrors :meth:`_batch_kernel_args` for the range kernels in
+        :mod:`repro.indexes.kernels`; the base implementation opts out.
+        """
+        return None
+
+    def _range_batch_counters(self, count: int) -> PerfCounters:
+        """Structural fused-counter delta for ``count`` range probes.
+
+        A range probe runs two bound traversals (lo and hi) and writes
+        two int64 span endpoints per pair.
+        """
+        return PerfCounters(
+            lookups=float(count),
+            memory_accesses=float(2 * count * self.height),
+            result_bytes=float(2 * count * KEY_BYTES),
+        )
+
     def trace_lookups(self, keys: np.ndarray) -> LookupResult:
         """Lookup with full access tracing for the machine model."""
         self._require_placed()

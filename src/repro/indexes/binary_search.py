@@ -106,11 +106,33 @@ class BinarySearchIndex(Index):
         positions = np.where(found, lo, np.int64(-1))
         return positions
 
+    def _lower_bound(self, keys: np.ndarray) -> np.ndarray:
+        """Plain vectorized lower-bound bisection of the full column."""
+        keys = np.asarray(keys, dtype=KEY_DTYPE)
+        n = len(self.column)
+        count = len(keys)
+        lo = np.zeros(count, dtype=np.int64)
+        hi = np.full(count, n, dtype=np.int64)
+        active = lo < hi
+        while active.any():
+            mid = (lo + hi) >> 1
+            mid_keys = self.column.key_at(np.where(active, mid, 0))
+            go_right = active & (mid_keys < keys)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+            active = lo < hi
+        return lo
+
     def _batch_kernel_args(self):
         """Scalar-kernel packing: the raw sorted key array is the index."""
         if not isinstance(self.column, MaterializedColumn):
             return None
         return ("binary_search_batch", (self.column.keys,))
+
+    def _range_kernel_args(self):
+        if not isinstance(self.column, MaterializedColumn):
+            return None
+        return ("binary_search_range_batch", (self.column.keys,))
 
     # ------------------------------------------------------------------
     # Analytic locality.

@@ -261,12 +261,59 @@ class BPlusTreeIndex(Index):
             nodes = np.minimum(nodes, self.level_sizes[level + 1] - 1)
         return self._search_leaf(nodes, keys, recorder)
 
+    def _lower_bound(self, keys: np.ndarray) -> np.ndarray:
+        """Lower bound via the same descent ``_traverse`` runs.
+
+        Internal levels are unchanged (upper bound on separators picks
+        the leaf whose key range covers the probe); the leaf search
+        keeps its lower-bound bisection but returns the *global
+        insertion position* ``leaf * entries + slot`` instead of
+        equality-checking it.  Dense leaf packing makes that position
+        exact for absent keys too: a probe past a full leaf's last key
+        lands on slot ``leaf_entries``, i.e. the start of the next leaf.
+        """
+        keys = np.asarray(keys, dtype=KEY_DTYPE)
+        nodes = np.zeros(len(keys), dtype=np.int64)
+        for level in range(len(self.level_sizes) - 1):  # repro: noqa[PERF001] -- O(height) per-level descent over whole key arrays
+            child = self._search_internal(level, nodes, keys, None)
+            nodes = np.minimum(
+                nodes * self.fanout + child, self.level_sizes[level + 1] - 1
+            )
+        count = len(keys)
+        slot_lo = np.zeros(count, dtype=np.int64)
+        slot_hi = np.full(count, self.leaf_entries, dtype=np.int64)
+        active = slot_lo < slot_hi
+        while active.any():
+            mid = (slot_lo + slot_hi) >> 1
+            entry_keys = self._leaf_keys(nodes, np.where(active, mid, 0))
+            go_right = active & (entry_keys < keys)
+            slot_lo = np.where(go_right, mid + 1, slot_lo)
+            slot_hi = np.where(active & ~go_right, mid, slot_hi)
+            active = slot_lo < slot_hi
+        return np.minimum(
+            nodes * self.leaf_entries + slot_lo, len(self.column)
+        )
+
     def _batch_kernel_args(self):
         """Scalar-kernel packing: geometry as plain int64 arrays."""
         if not isinstance(self.column, MaterializedColumn):
             return None
         return (
             "btree_batch",
+            (
+                self.column.keys,
+                np.asarray(self.level_sizes, dtype=np.int64),
+                np.asarray(self.level_coverage, dtype=np.int64),
+                self.fanout,
+                self.leaf_entries,
+            ),
+        )
+
+    def _range_kernel_args(self):
+        if not isinstance(self.column, MaterializedColumn):
+            return None
+        return (
+            "btree_range_batch",
             (
                 self.column.keys,
                 np.asarray(self.level_sizes, dtype=np.int64),

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["clamped_int64"]
+__all__ = ["clamped_int64", "saturating_band"]
 
 
 def clamped_int64(
@@ -30,3 +30,22 @@ def clamped_int64(
     below ``2**53``).
     """
     return np.rint(np.clip(values, low, high)).astype(np.int64)
+
+
+def saturating_band(values: np.ndarray, epsilon) -> tuple:
+    """``[key - epsilon, key + epsilon]`` with uint64 saturation.
+
+    The band-join bounds primitive: subtraction saturates at 0 and
+    addition at ``2**64 - 1`` instead of wrapping, so a probe near a
+    domain edge keeps a meaningful (clamped) band rather than wrapping
+    to the far end of the key space.  ``epsilon`` may be a scalar or a
+    per-key array; both are taken modulo-free as uint64.
+    """
+    keys = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+    eps = np.asarray(epsilon, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        lo = keys - eps
+        hi = keys + eps
+    lo = np.where(lo > keys, np.uint64(0), lo)
+    hi = np.where(hi < keys, np.uint64(np.iinfo(np.uint64).max), hi)
+    return lo, hi

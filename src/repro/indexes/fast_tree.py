@@ -91,7 +91,13 @@ class FastTreeIndex(Index):
         the middle: ``rank = (k - 2^d) * 2^(h-d) + 2^(h-d-1) - 1``.
         """
         slots = slots.astype(np.int64)
-        depth = np.frexp(slots.astype(np.float64))[1] - 1
+        # frexp exponents of 1-based slots are exactly 1..64; the clamp
+        # keeps the float-derived depth provably in shift range (NP002).
+        depth = clamped_int64(
+            np.frexp(slots.astype(np.float64))[1].astype(np.float64) - 1.0,
+            0.0,
+            63.0,
+        )
         level_start = np.int64(1) << depth
         subtree = np.int64(1) << (self.tree_height - depth)
         return (slots - level_start) * subtree + (subtree >> 1) - 1
@@ -144,6 +150,34 @@ class FastTreeIndex(Index):
         safe_ranks = np.where(in_range, ranks, 0)
         matches = in_range & (self.column.key_at(safe_ranks) == keys)
         return np.where(matches, ranks, np.int64(-1))
+
+    def _lower_bound(self, keys: np.ndarray) -> np.ndarray:
+        """Lower bound via the Eytzinger descent's trailing-ones trick.
+
+        The descent computes the lower bound over the MAX-padded
+        complete tree; padding ranks start at ``n``, so clamping to
+        ``n`` maps "first match is padding" to the insertion point at
+        the end of the data.  ``bound_slots == 0`` (no left turn at
+        all) means every key is below the probe: lower bound ``n``.
+        """
+        keys = np.asarray(keys, dtype=KEY_DTYPE)
+        count = len(keys)
+        slots = np.ones(count, dtype=np.int64)
+        for __ in range(self.tree_height):  # repro: noqa[PERF001] -- O(height) per-level descent over whole key arrays
+            slot_keys = self._keys_of_slots(slots)
+            slots = 2 * slots + (slot_keys < keys).astype(np.int64)
+        trailing_one_block = (~slots) & (slots + 1)
+        shift = clamped_int64(
+            np.log2(trailing_one_block.astype(np.float64)), 0.0, 63.0
+        )
+        bound_slots = slots >> (shift + 1)
+        found_mask = bound_slots > 0
+        n = len(self.column)
+        safe_slots = np.where(found_mask, bound_slots, 1)
+        ranks = self._ranks_of_slots(safe_slots)
+        return np.where(
+            found_mask, np.minimum(ranks, n), np.int64(n)
+        ).astype(np.int64)
 
     # ------------------------------------------------------------------
     # Analytic locality.

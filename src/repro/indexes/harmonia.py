@@ -159,7 +159,11 @@ class HarmoniaIndex(Index):
         return np.where(exists, keys, _MAX_KEY)
 
     def _node_child_counts(
-        self, level: int, nodes: np.ndarray, keys: np.ndarray
+        self,
+        level: int,
+        nodes: np.ndarray,
+        keys: np.ndarray,
+        strict: bool = False,
     ) -> np.ndarray:
         """Per lane: how many of its node's keys are <= the probe.
 
@@ -169,6 +173,9 @@ class HarmoniaIndex(Index):
         increasing while backed by data, MAX-padded past it), so a
         vectorized binary search over the key slots gathers
         ``log2(node_keys)`` keys per lane instead of ``node_keys``.
+
+        ``strict=True`` counts keys strictly below the probe instead --
+        the leaf-level variant the range primitive's lower bound needs.
         """
         child_coverage = (
             self.level_coverage[level + 1]
@@ -186,7 +193,10 @@ class HarmoniaIndex(Index):
             exists = active & (positions < n)
             slot_keys = self.column.key_at(np.where(exists, positions, 0))
             mid_keys = np.where(exists, slot_keys, _MAX_KEY)
-            go_right = active & (mid_keys <= keys)
+            if strict:
+                go_right = active & (mid_keys < keys)
+            else:
+                go_right = active & (mid_keys <= keys)
             lo = np.where(go_right, mid + 1, lo)
             hi = np.where(active & ~go_right, mid, hi)
             active = lo < hi
@@ -244,6 +254,30 @@ class HarmoniaIndex(Index):
                 return np.where(found, positions, np.int64(-1))
         raise SimulationError("traversal fell off the tree")  # pragma: no cover
 
+    def _lower_bound(self, keys: np.ndarray) -> np.ndarray:
+        """Lower bound via the key-region descent.
+
+        Internal levels descend exactly as ``_traverse`` does; at the
+        leaf the strict count (keys < probe) is the local insertion
+        slot, and dense leaf packing makes ``leaf * node_keys + slot``
+        the global insertion position for absent probes too.
+        """
+        keys = np.asarray(keys, dtype=KEY_DTYPE)
+        nodes = np.zeros(len(keys), dtype=np.int64)
+        height = len(self.level_sizes)
+        for level in range(height - 1):  # repro: noqa[PERF001] -- O(height) per-level descent over whole key arrays
+            counts = self._node_child_counts(level, nodes, keys)
+            child = np.maximum(counts - 1, 0).astype(np.int64)
+            nodes = np.minimum(
+                nodes * self.fanout + child, self.level_sizes[level + 1] - 1
+            )
+        counts_lt = self._node_child_counts(
+            height - 1, nodes, keys, strict=True
+        )
+        return np.minimum(
+            nodes * self.node_keys + counts_lt, len(self.column)
+        )
+
     def _batch_kernel_args(self):
         """Scalar-kernel packing: geometry as plain int64 arrays."""
         from ..data.column import MaterializedColumn
@@ -252,6 +286,21 @@ class HarmoniaIndex(Index):
             return None
         return (
             "harmonia_batch",
+            (
+                self.column.keys,
+                np.asarray(self.level_sizes, dtype=np.int64),
+                np.asarray(self.level_coverage, dtype=np.int64),
+                self.node_keys,
+            ),
+        )
+
+    def _range_kernel_args(self):
+        from ..data.column import MaterializedColumn
+
+        if not isinstance(self.column, MaterializedColumn):
+            return None
+        return (
+            "harmonia_range_batch",
             (
                 self.column.keys,
                 np.asarray(self.level_sizes, dtype=np.int64),

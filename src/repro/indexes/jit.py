@@ -100,3 +100,27 @@ def runner_for(index, compile: bool = True) -> Optional[Callable]:
         func(probes, out, *args)
 
     return runner
+
+
+def range_runner_for(index, compile: bool = True) -> Optional[Callable]:
+    """A ``runner(lo, hi, out_start, out_end)`` closure, or None.
+
+    Range twin of :func:`runner_for`, consulting
+    ``index._range_kernel_args()``; the same ``compile=False`` hook lets
+    the differential tests interpret the range kernel source directly.
+    """
+    spec = index._range_kernel_args()
+    if spec is None:
+        return None
+    name, args = spec
+    func = compiled_kernel(name) if compile else getattr(kernels, name)
+
+    def runner(
+        lo: np.ndarray,
+        hi: np.ndarray,
+        out_start: np.ndarray,
+        out_end: np.ndarray,
+    ) -> None:
+        func(lo, hi, out_start, out_end, *args)
+
+    return runner

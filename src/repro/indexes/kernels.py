@@ -223,3 +223,255 @@ def radix_spline_batch(probes, out, col, radix_table, spline_keys,
             out[i] = search_lo
         else:
             out[i] = -1
+
+
+# ----------------------------------------------------------------------
+# Range kernels: per-pair [start, end) spans for the non-equi joins.
+#
+# Same shape family as the batch kernels above, with two probe arrays
+# and two output buffers: ``kernel(lo_keys, hi_keys, out_start, out_end,
+# col, *structure)``.  Each kernel runs the index's lower-bound descent
+# twice (once per bound), bumps the end past an exact hi match (column
+# keys are unique), and clamps inverted spans empty -- mirroring
+# ``Index._range_bounds`` plus each index's ``_lower_bound`` exactly.
+# ----------------------------------------------------------------------
+
+
+def binary_search_range_batch(lo_keys, hi_keys, out_start, out_end, col):
+    """Span over the sorted column: lower bound of lo, upper bound of hi."""
+    n = col.shape[0]
+    for i in range(lo_keys.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        lo_key = lo_keys[i]
+        hi_key = hi_keys[i]
+        lo = 0
+        hi = n
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if col[mid] < lo_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        start = lo
+        lo = 0
+        hi = n
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if col[mid] < hi_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        end = lo
+        if end < n and col[end] == hi_key:
+            end += 1
+        if end < start:
+            end = start
+        out_start[i] = start
+        out_end[i] = end
+
+
+def btree_range_batch(lo_keys, hi_keys, out_start, out_end, col,
+                      level_sizes, level_coverage, fanout, leaf_entries):
+    """B+tree span: two descents per pair; internal levels as in
+    ``btree_batch``, the leaf returning the clamped insertion position
+    (``BPlusTreeIndex._lower_bound``)."""
+    n = col.shape[0]
+    height = level_sizes.shape[0]
+    num_separators = fanout - 1
+    for i in range(lo_keys.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        for side in range(2):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+            if side == 0:
+                key = lo_keys[i]
+            else:
+                key = hi_keys[i]
+            node = 0
+            for level in range(height - 1):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+                child_coverage = level_coverage[level + 1]
+                slot_lo = 0
+                slot_hi = num_separators
+                while slot_lo < slot_hi:
+                    mid = (slot_lo + slot_hi) >> 1
+                    first = (
+                        (node * fanout + mid + 1)
+                        * child_coverage
+                        * leaf_entries
+                    )
+                    if first < n:
+                        go_right = col[first] <= key
+                    else:
+                        go_right = key == _MAX_KEY
+                    if go_right:
+                        slot_lo = mid + 1
+                    else:
+                        slot_hi = mid
+                node = node * fanout + slot_lo
+                limit = level_sizes[level + 1] - 1
+                if node > limit:
+                    node = limit
+            slot_lo = 0
+            slot_hi = leaf_entries
+            while slot_lo < slot_hi:
+                mid = (slot_lo + slot_hi) >> 1
+                position = node * leaf_entries + mid
+                if position < n and col[position] < key:
+                    slot_lo = mid + 1
+                else:
+                    slot_hi = mid
+            bound = node * leaf_entries + slot_lo
+            if bound > n:
+                bound = n
+            if side == 0:
+                out_start[i] = bound
+            else:
+                if bound < n and col[bound] == key:
+                    bound += 1
+                out_end[i] = bound
+        if out_end[i] < out_start[i]:
+            out_end[i] = out_start[i]
+
+
+def harmonia_range_batch(lo_keys, hi_keys, out_start, out_end, col,
+                         level_sizes, level_coverage, node_keys):
+    """Harmonia span: internal descent as in ``harmonia_batch``, strict
+    leaf count for the insertion slot (``HarmoniaIndex._lower_bound``)."""
+    n = col.shape[0]
+    height = level_sizes.shape[0]
+    for i in range(lo_keys.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        for side in range(2):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+            if side == 0:
+                key = lo_keys[i]
+            else:
+                key = hi_keys[i]
+            node = 0
+            for level in range(height - 1):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+                child_coverage = level_coverage[level + 1]
+                node_first = node * node_keys
+                lo = 0
+                hi = node_keys
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    position = (node_first + mid) * child_coverage
+                    if position < n:
+                        go_right = col[position] <= key
+                    else:
+                        go_right = key == _MAX_KEY
+                    if go_right:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                child = lo - 1
+                if child < 0:
+                    child = 0
+                node = node * node_keys + child
+                limit = level_sizes[level + 1] - 1
+                if node > limit:
+                    node = limit
+            node_first = node * node_keys
+            lo = 0
+            hi = node_keys
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                position = node_first + mid
+                # Padding slots read as MAX, and MAX < key is never true.
+                if position < n and col[position] < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            bound = node * node_keys + lo
+            if bound > n:
+                bound = n
+            if side == 0:
+                out_start[i] = bound
+            else:
+                if bound < n and col[bound] == key:
+                    bound += 1
+                out_end[i] = bound
+        if out_end[i] < out_start[i]:
+            out_end[i] = out_start[i]
+
+
+def radix_spline_range_batch(lo_keys, hi_keys, out_start, out_end, col,
+                             radix_table, spline_keys, spline_positions,
+                             min_key, span_key, shift, error_bound):
+    """RadixSpline span: the batch kernel's prediction, then a widened
+    (+-(error_bound + 2)) lower-bound search per bound -- float
+    expression order matches ``RadixSplineIndex._predict`` so the two
+    backends agree bit for bit (see ``_lower_bound`` for the margin)."""
+    n = col.shape[0]
+    num_points = spline_keys.shape[0]
+    last_slot = radix_table.shape[0] - 1
+    top = float(n - 1)
+    margin = error_bound + 2
+    for i in range(lo_keys.shape[0]):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+        for side in range(2):  # repro: noqa[PERF001] -- kernel source: compiled by numba, never interpreted on a hot path
+            if side == 0:
+                key = lo_keys[i]
+            else:
+                key = hi_keys[i]
+            if key > min_key:
+                clipped = key - min_key
+            else:
+                clipped = np.uint64(0)
+            if clipped > span_key:
+                clipped = span_key
+            prefix = np.int64(clipped >> shift)
+            seg_lo = radix_table[prefix]
+            nxt = prefix + 1
+            if nxt > last_slot:
+                nxt = last_slot
+            seg_hi = radix_table[nxt] + 1
+            if seg_hi < seg_lo + 1:
+                seg_hi = seg_lo + 1
+            if seg_hi > num_points:
+                seg_hi = num_points
+            lo = seg_lo
+            hi = seg_hi
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if spline_keys[mid] < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            upper = lo
+            if upper < 1:
+                upper = 1
+            if upper > num_points - 1:
+                upper = num_points - 1
+            lower = upper - 1
+            key_low = spline_keys[lower]
+            key_high = spline_keys[upper]
+            pos_low = float(spline_positions[lower])
+            pos_high = float(spline_positions[upper])
+            span = float(key_high - key_low)
+            if span < 1.0:
+                span = 1.0
+            if key > key_low:
+                delta = float(key - key_low)
+            else:
+                delta = 0.0
+            predicted = pos_low + delta / span * (pos_high - pos_low)
+            if predicted < 0.0:
+                predicted = 0.0
+            if predicted > top:
+                predicted = top
+            estimate = round(predicted)
+            search_lo = estimate - margin
+            if search_lo < 0:
+                search_lo = 0
+            search_hi = estimate + margin + 1
+            if search_hi > n:
+                search_hi = n
+            while search_lo < search_hi:
+                mid = (search_lo + search_hi) >> 1
+                if col[mid] < key:
+                    search_lo = mid + 1
+                else:
+                    search_hi = mid
+            bound = search_lo
+            if side == 0:
+                out_start[i] = bound
+            else:
+                if bound < n and col[bound] == key:
+                    bound += 1
+                out_end[i] = bound
+        if out_end[i] < out_start[i]:
+            out_end[i] = out_start[i]

@@ -10,14 +10,19 @@
   pipelined, without materializing either input.
 * :class:`~repro.join.hash_join.HashJoin` -- the WarpCore-style
   multi-value hash join baseline of Section 3.2.
+* :class:`~repro.join.nonequi.BandJoin` /
+  :class:`~repro.join.nonequi.KNNJoin` (and their windowed variants) --
+  non-equi joins over the range primitive: band predicate
+  ``|r.key - s.key| <= epsilon`` and 1-D k-nearest-neighbour probes.
 
 Each operator has a functional ``join`` (exact results, laptop scale) and a
 simulated ``estimate`` (cost-model throughput at paper scale).
 """
 
-from .base import JoinResult, QueryEnvironment, reference_join
+from .base import JoinResult, QueryEnvironment, expand_spans, reference_join
 from .hash_join import HashJoin, MultiValueHashTable
 from .inlj import IndexNestedLoopJoin
+from .nonequi import BandJoin, KNNJoin, WindowedBandJoin, WindowedKNNJoin
 from .partitioned import PartitionedINLJ
 from .partitioned_hash import PartitionedHashJoin
 from .window import WindowedINLJ
@@ -25,6 +30,7 @@ from .window import WindowedINLJ
 __all__ = [
     "JoinResult",
     "QueryEnvironment",
+    "expand_spans",
     "reference_join",
     "HashJoin",
     "MultiValueHashTable",
@@ -32,4 +38,8 @@ __all__ = [
     "PartitionedINLJ",
     "PartitionedHashJoin",
     "WindowedINLJ",
+    "BandJoin",
+    "KNNJoin",
+    "WindowedBandJoin",
+    "WindowedKNNJoin",
 ]

@@ -16,12 +16,13 @@ from typing import Optional, Type
 import numpy as np
 
 from ..config import DEFAULT_CONFIG, SimulationConfig
-from ..data.column import Column
+from ..data.column import Column, KEY_DTYPE
 from ..data.generator import WorkloadConfig, make_build_relation
 from ..errors import WorkloadError
 from ..gpu.executor import MachineModel
 from ..hardware.memory import MemorySpace
 from ..hardware.spec import SystemSpec
+from ..indexes.domain import saturating_band
 from ..perf.model import CalibrationConstants, CostModel, DEFAULT_CALIBRATION
 from ..units import KEY_BYTES
 
@@ -51,36 +52,88 @@ class JoinResult:
     def __len__(self) -> int:
         return len(self.probe_indices)
 
-    def sorted_by_probe(self) -> "JoinResult":
-        """Canonical order for comparisons across join algorithms."""
+    def canonical(self) -> "JoinResult":
+        """Pairs in canonical ``(probe index, build position)`` order.
+
+        The one order every cross-algorithm comparison uses.  The
+        secondary sort on build position makes the order well-defined
+        for multi-match results too (band and KNN joins emit several
+        pairs per probe); equi-joins over unique keys are the
+        one-pair-per-probe special case.
+        """
         order = np.lexsort((self.build_positions, self.probe_indices))
         return JoinResult(
             probe_indices=self.probe_indices[order],
             build_positions=self.build_positions[order],
         )
 
+    def sorted_by_probe(self) -> "JoinResult":
+        """Historical name for :meth:`canonical`."""
+        return self.canonical()
+
     def equals(self, other: "JoinResult") -> bool:
-        """Set equality regardless of pair order."""
-        mine = self.sorted_by_probe()
-        theirs = other.sorted_by_probe()
+        """Multiset equality regardless of pair order.
+
+        Compares the canonical forms element-wise, so results with
+        several matches per probe key (band/KNN joins) compare exactly;
+        no single-match assumption is made.
+        """
+        mine = self.canonical()
+        theirs = other.canonical()
         return bool(
             np.array_equal(mine.probe_indices, theirs.probe_indices)
             and np.array_equal(mine.build_positions, theirs.build_positions)
         )
 
 
-def reference_join(column: Column, probe_keys: np.ndarray) -> JoinResult:
-    """Ground-truth join of probe keys against a unique-key column.
+def expand_spans(
+    sources: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple:
+    """Flatten per-probe ``[start, end)`` spans into (probe, position) pairs.
 
-    R holds unique keys (Section 3.2), so each probe matches at most one
-    position; the reference is a direct rank computation.
+    Fully vectorized: each source index repeats once per position in its
+    span, positions increase within a span, and spans are emitted in
+    source order -- so the output of sorted inputs is already canonical.
+    Inverted spans (``end < start``) count as empty.
     """
-    positions = column.rank_of(np.asarray(probe_keys))
-    matched = positions >= 0
-    return JoinResult(
-        probe_indices=np.nonzero(matched)[0].astype(np.int64),
-        build_positions=positions[matched],
+    sources = np.asarray(sources, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lengths = np.maximum(ends - starts, 0)
+    total = int(lengths.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    probe = np.repeat(sources, lengths)
+    # Per-span arange via the cumsum-offset trick: a global arange minus
+    # each element's span start index, plus the span's column offset.
+    span_begins = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(lengths)[:-1])
     )
+    within = np.arange(total, dtype=np.int64) - np.repeat(span_begins, lengths)
+    return probe, np.repeat(starts, lengths) + within
+
+
+def reference_join(
+    column: Column, probe_keys: np.ndarray, epsilon: int = 0
+) -> JoinResult:
+    """Brute-force ground-truth join of probe keys against a column.
+
+    With ``epsilon == 0`` this is the equi-join oracle; with a positive
+    ``epsilon`` it is the band-join oracle, emitting every (s, r) pair
+    with ``|s.key - r.key| <= epsilon`` (saturating at the uint64 domain
+    edges).  Earlier revisions computed one ``rank_of`` per probe and so
+    could not express multi-match results at all; the span formulation
+    subsumes that behaviour exactly -- over unique keys an ``epsilon=0``
+    span has width 1 for a member and 0 otherwise.
+    """
+    probe_keys = np.atleast_1d(np.asarray(probe_keys, dtype=KEY_DTYPE))
+    lo, hi = saturating_band(probe_keys, epsilon)
+    starts = column.bound_positions(lo, side="left")
+    ends = column.bound_positions(hi, side="right")
+    sources = np.arange(len(probe_keys), dtype=np.int64)
+    probe, positions = expand_spans(sources, starts, ends)
+    return JoinResult(probe_indices=probe, build_positions=positions)
 
 
 class QueryEnvironment:

@@ -11,8 +11,17 @@ quantifies that guidance:
   mixed read/write request streams (:func:`make_update_stream`) and the
   sorted-array-with-updates reference (:class:`SortedArrayOracle`) the
   serving layer's delta tier is checked against.
+* :mod:`repro.workloads.nonequi` -- seeded band/KNN probe streams for
+  the non-equi joins: member keys jittered inside the band (or key gap),
+  uniform or Zipf-scattered like the equi stream.
 """
 
+from .nonequi import (
+    NonEquiProbeSet,
+    band_epsilon_for_matches,
+    make_band_probe_keys,
+    make_knn_probe_keys,
+)
 from .updates import (
     SortedArrayOracle,
     UpdateCost,
@@ -23,6 +32,10 @@ from .updates import (
 )
 
 __all__ = [
+    "NonEquiProbeSet",
+    "band_epsilon_for_matches",
+    "make_band_probe_keys",
+    "make_knn_probe_keys",
     "SortedArrayOracle",
     "UpdateCost",
     "UpdateStream",

@@ -10,7 +10,18 @@ import io
 import pytest
 
 from repro.config import SimulationConfig
-from repro.experiments import common, fig3, fig4, fig5, fig6, fig7, fig8, fig9, table1
+from repro.experiments import (
+    common,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    nonequi,
+    table1,
+)
 from repro.experiments.runner import run_all
 from repro.hardware.spec import A100_PCIE4, V100_NVLINK2
 from repro.indexes import HarmoniaIndex, RadixSplineIndex
@@ -190,6 +201,41 @@ class TestFig9:
         inlj.append(1, 1.0)
         hash_join.append(1, 2.0)
         assert fig9.find_crossover(inlj, hash_join) is None
+
+
+class TestNonEqui:
+    def test_band_sweep_series_and_notes(self):
+        result = nonequi.run(
+            matches=(1.0, 4.0), window_tuples=(2**20,), thetas=(0.0,)
+        )
+        by_label = result.series_by_label()
+        assert set(by_label) == {"naive z=0", "windowed 8 MiB z=0"}
+        assert by_label["naive z=0"].x == [1.0, 4.0]
+        # The windowed variant wins at every selectivity of this point.
+        for naive_qps, windowed_qps in zip(
+            by_label["naive z=0"].y, by_label["windowed 8 MiB z=0"].y
+        ):
+            assert windowed_qps > naive_qps
+        # Replay-counter attribution rides along as notes.
+        attribution = [n for n in result.notes if "divergence replays" in n]
+        assert len(attribution) == 2
+        assert any("cold faults" in n for n in attribution)
+        assert any(n.startswith("z=0: best windowed") for n in result.notes)
+
+    def test_epsilon_grows_with_matches(self):
+        result = nonequi.run(
+            matches=(1.0, 16.0), window_tuples=(2**20,), thetas=(0.0,)
+        )
+        assert result.series_by_label()["naive z=0"].y[0] > 0
+
+    def test_task_labels_are_unique(self):
+        tasks = [
+            ("naive", V100_NVLINK2, 2**20, 4.0, 0, 0.0),
+            ("windowed", V100_NVLINK2, 2**20, 4.0, 2**18, 1.0),
+        ]
+        labels = [nonequi.nonequi_task_label(t) for t in tasks]
+        assert len(set(labels)) == len(labels)
+        assert labels[0] == "nonequi:naive:1048576:m4:w0:z0"
 
 
 class TestCpuGpu:

@@ -15,7 +15,7 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.errors import CapacityError
-from repro.experiments import cache, common, fig3, fig5
+from repro.experiments import cache, common, fig3, fig5, nonequi
 from repro.hardware.spec import V100_NVLINK2
 from repro.indexes import BPlusTreeIndex, RadixSplineIndex
 
@@ -64,6 +64,17 @@ class TestParallelRunner:
         for left, right in zip(serial, parallel):
             assert series_dump(left) == series_dump(right)
             assert left.notes == right.notes
+
+    def test_parallel_matches_serial_nonequi(self):
+        """The non-equi sweep is bit-identical serial vs pooled -- the
+        acceptance contract its CI bench-smoke diff relies on."""
+        kwargs = dict(
+            matches=(1.0, 4.0), window_tuples=(2**20,), thetas=(0.0,)
+        )
+        serial = nonequi.run(**kwargs)
+        parallel = nonequi.run(workers=2, **kwargs)
+        assert series_dump(serial) == series_dump(parallel)
+        assert serial.notes == parallel.notes
 
     def test_skips_recorded_in_task_order(self):
         """Capacity skips surface as notes exactly as in the serial path."""

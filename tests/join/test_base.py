@@ -3,12 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.data.column import MaterializedColumn
 from repro.data.generator import WorkloadConfig
 from repro.errors import CapacityError, WorkloadError
 from repro.hardware.memory import MemorySpace
 from repro.hardware.spec import V100_NVLINK2
 from repro.indexes import BPlusTreeIndex, RadixSplineIndex
-from repro.join.base import JoinResult, QueryEnvironment, reference_join
+from repro.join.base import (
+    JoinResult,
+    QueryEnvironment,
+    expand_spans,
+    reference_join,
+)
 from repro.units import GIB
 
 
@@ -66,6 +72,109 @@ class TestReferenceJoin:
         result = reference_join(small_relation.column, small_probes.keys)
         expected = small_probes.expected_positions[result.probe_indices]
         assert np.array_equal(result.build_positions, expected)
+
+
+class TestMultiMatchResults:
+    """Regressions for the single-match assumption the non-equi joins
+    removed: ``reference_join`` used to compute one ``rank_of`` per probe
+    and ``equals`` relied on one pair per probe index, so any multi-match
+    result (several R positions per S tuple) compared incorrectly or
+    could not be expressed at all."""
+
+    def test_regression_canonical_orders_within_probe(self):
+        result = JoinResult(
+            probe_indices=np.array([1, 0, 1, 0]),
+            build_positions=np.array([9, 4, 2, 7]),
+        )
+        canonical = result.canonical()
+        np.testing.assert_array_equal(canonical.probe_indices, [0, 0, 1, 1])
+        np.testing.assert_array_equal(canonical.build_positions, [4, 7, 2, 9])
+
+    def test_regression_equals_is_multiset_equality(self):
+        a = JoinResult(
+            probe_indices=np.array([0, 0, 1]),
+            build_positions=np.array([5, 6, 7]),
+        )
+        b = JoinResult(
+            probe_indices=np.array([1, 0, 0]),
+            build_positions=np.array([7, 6, 5]),
+        )
+        assert a.equals(b)
+        # Same probes, different pair multiplicities: NOT equal.  A
+        # probe-index lexsort alone (the old single-match comparison)
+        # cannot distinguish these reliably.
+        c = JoinResult(
+            probe_indices=np.array([0, 0, 1]),
+            build_positions=np.array([5, 5, 7]),
+        )
+        assert not a.equals(c)
+
+    def test_sorted_by_probe_is_canonical(self):
+        result = JoinResult(
+            probe_indices=np.array([2, 1]), build_positions=np.array([0, 3])
+        )
+        sorted_result = result.sorted_by_probe()
+        canonical = result.canonical()
+        np.testing.assert_array_equal(
+            sorted_result.probe_indices, canonical.probe_indices
+        )
+        np.testing.assert_array_equal(
+            sorted_result.build_positions, canonical.build_positions
+        )
+
+    def test_expand_spans_flattens_in_canonical_order(self):
+        probe, positions = expand_spans(
+            sources=np.array([0, 1, 2]),
+            starts=np.array([4, 9, 2]),
+            ends=np.array([6, 9, 5]),
+        )
+        np.testing.assert_array_equal(probe, [0, 0, 2, 2, 2])
+        np.testing.assert_array_equal(positions, [4, 5, 2, 3, 4])
+
+    def test_expand_spans_inverted_spans_are_empty(self):
+        probe, positions = expand_spans(
+            sources=np.array([0, 1]),
+            starts=np.array([5, 1]),
+            ends=np.array([3, 2]),
+        )
+        np.testing.assert_array_equal(probe, [1])
+        np.testing.assert_array_equal(positions, [1])
+
+    def test_expand_spans_all_empty(self):
+        probe, positions = expand_spans(
+            sources=np.array([0, 1]),
+            starts=np.array([3, 4]),
+            ends=np.array([3, 4]),
+        )
+        assert len(probe) == 0
+        assert len(positions) == 0
+        assert probe.dtype == np.int64
+        assert positions.dtype == np.int64
+
+    def test_regression_reference_join_emits_multi_match(self):
+        """The old rank_of formulation returned at most one position per
+        probe; with a band width it must emit the whole span."""
+        column = MaterializedColumn(
+            np.array([10, 20, 30, 40], dtype=np.uint64)
+        )
+        result = reference_join(
+            column, np.array([25], dtype=np.uint64), epsilon=10
+        )
+        canonical = result.canonical()
+        np.testing.assert_array_equal(canonical.probe_indices, [0, 0])
+        np.testing.assert_array_equal(canonical.build_positions, [1, 2])
+
+    def test_reference_join_epsilon_zero_unchanged(self):
+        """epsilon=0 subsumes the historical equi semantics exactly."""
+        column = MaterializedColumn(
+            np.array([10, 20, 30], dtype=np.uint64)
+        )
+        result = reference_join(
+            column, np.array([20, 21, 10], dtype=np.uint64)
+        )
+        canonical = result.canonical()
+        np.testing.assert_array_equal(canonical.probe_indices, [0, 2])
+        np.testing.assert_array_equal(canonical.build_positions, [1, 0])
 
 
 class TestQueryEnvironment:
